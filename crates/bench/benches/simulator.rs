@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the simulator itself: end-to-end runs at
+//! reduced sizes and protocol microbenchmarks. These measure the *host*
+//! cost of simulation (how fast the reproduction runs), not simulated
+//! performance — the figure binaries report that.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slipstream_core::{run, ArSyncMode, ExecMode, RunSpec, SlipstreamConfig};
+use slipstream_kernel::config::MachineConfig;
+use slipstream_kernel::{Addr, CpuId, Cycle, EventQueue, NodeId};
+use slipstream_mem::{AccessKind, HomeMap, MemSystem, StreamRole};
+use slipstream_workloads::{Mg, Sor, WaterNs};
+
+fn end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("sor_quick_single_4", |b| {
+        let w = Sor::quick();
+        b.iter(|| run(&w, &RunSpec::new(4, ExecMode::Single)));
+    });
+    g.bench_function("sor_quick_slipstream_4", |b| {
+        let w = Sor::quick();
+        b.iter(|| run(&w, &RunSpec::new(4, ExecMode::Slipstream)));
+    });
+    g.bench_function("mg_quick_slipstream_si_4", |b| {
+        let w = Mg::quick();
+        let spec = RunSpec::new(4, ExecMode::Slipstream)
+            .with_slip(SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal));
+        b.iter(|| run(&w, &spec));
+    });
+    g.bench_function("water_ns_quick_double_4", |b| {
+        let w = WaterNs::quick();
+        b.iter(|| run(&w, &RunSpec::new(4, ExecMode::Double)));
+    });
+    g.finish();
+}
+
+fn protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    // Streaming local misses: the simulator's hottest path.
+    g.bench_function("local_miss_stream_10k", |b| {
+        b.iter(|| {
+            let cfg = MachineConfig::with_nodes(1);
+            let home = HomeMap::uniform(1, cfg.page_bytes);
+            let mut mem = MemSystem::new(&cfg, home, 1);
+            let mut q = EventQueue::new();
+            let cpu = CpuId::new(NodeId(0), 0);
+            let mut out = Vec::new();
+            let mut t = 0u64;
+            for i in 0..10_000u64 {
+                mem.access(
+                    Cycle(t),
+                    cpu,
+                    StreamRole::Solo,
+                    AccessKind::Read,
+                    Addr(0x1000 + i * 64),
+                    true,
+                    false,
+                    &mut q,
+                );
+                while let Some((at, ev)) = q.pop() {
+                    out.clear();
+                    mem.handle_event(at, ev, &mut q, &mut out);
+                    if let Some(c) = out.first() {
+                        t = at.raw().max(t);
+                        let _ = c;
+                    }
+                }
+                t += 1;
+            }
+            mem.stats().l2_misses
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, end_to_end, protocol);
+criterion_main!(benches);

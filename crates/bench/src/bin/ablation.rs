@@ -1,0 +1,86 @@
+//! Ablation studies over the slipstream design choices called out in
+//! DESIGN.md: exclusive-prefetch conversion, the self-invalidation drain
+//! rate, the transparent-load policy, and the A-R token budget.
+
+use slipstream_bench::{Cli, Runner};
+use slipstream_core::{ArSyncMode, ExecMode, RunSpec, SlipstreamConfig};
+
+fn main() {
+    let cli = Cli::parse();
+    let nodes = *cli.sweep().last().unwrap_or(&8);
+    let mut r = Runner::new();
+    let ar = ArSyncMode::OneTokenGlobal;
+
+    println!("# Ablation 0: migratory-sharing directory optimization (extension)");
+    println!("{:<12} {:>12} {:>12} {:>8}", "benchmark", "off", "on", "delta%");
+    for w in cli.suite() {
+        let off = r.run(w.as_ref(), &RunSpec::new(nodes, ExecMode::Single));
+        let mut mc = slipstream_core::MachineConfig::with_nodes(nodes);
+        if w.small_l2() {
+            mc = slipstream_core::MachineConfig::water(nodes);
+        }
+        mc.migratory_opt = true;
+        let on = r.run(
+            w.as_ref(),
+            &RunSpec::new(nodes, ExecMode::Single).with_machine(mc),
+        );
+        println!(
+            "{:<12} {:>12} {:>12} {:>7.1}%",
+            w.name(),
+            off.exec_cycles,
+            on.exec_cycles,
+            100.0 * (off.exec_cycles as f64 / on.exec_cycles as f64 - 1.0)
+        );
+    }
+
+    println!("# Ablation 1: exclusive-prefetch conversion (S3.3), {nodes} CMPs");
+    println!("{:<12} {:>12} {:>12} {:>8}", "benchmark", "with", "without", "delta%");
+    for w in cli.suite() {
+        let on = r.slipstream(w.as_ref(), nodes, SlipstreamConfig::prefetch_only(ar));
+        let mut cfg = SlipstreamConfig::prefetch_only(ar);
+        cfg.exclusive_prefetch = false;
+        let off = r.slipstream(w.as_ref(), nodes, cfg);
+        println!(
+            "{:<12} {:>12} {:>12} {:>7.1}%",
+            w.name(),
+            on.exec_cycles,
+            off.exec_cycles,
+            100.0 * (off.exec_cycles as f64 / on.exec_cycles as f64 - 1.0)
+        );
+    }
+
+    println!("\n# Ablation 2: self-invalidation drain interval (paper: 4 cycles/line)");
+    println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "benchmark", "1", "4", "16", "64");
+    for w in cli.suite() {
+        let cells: Vec<String> = [1u64, 4, 16, 64]
+            .iter()
+            .map(|&iv| {
+                let mut cfg = SlipstreamConfig::with_self_invalidation(ar);
+                cfg.si_interval = iv;
+                format!("{}", r.slipstream(w.as_ref(), nodes, cfg).exec_cycles)
+            })
+            .collect();
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10}",
+            w.name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+    }
+
+    println!("\n# Ablation 3: A-R token budget cap (sessions the A-stream may bank)");
+    println!("{:<12} {:>10} {:>10} {:>10}", "benchmark", "cap=1", "cap=2", "uncapped");
+    for w in cli.suite() {
+        let cells: Vec<String> = [1u32, 2, u32::MAX]
+            .iter()
+            .map(|&cap| {
+                let mut cfg = SlipstreamConfig::prefetch_only(ArSyncMode::OneTokenLocal);
+                cfg.max_tokens = cap;
+                format!("{}", r.run(w.as_ref(), &RunSpec::new(nodes, ExecMode::Slipstream).with_slip(cfg)).exec_cycles)
+            })
+            .collect();
+        println!("{:<12} {:>10} {:>10} {:>10}", w.name(), cells[0], cells[1], cells[2]);
+    }
+}

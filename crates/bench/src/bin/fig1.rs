@@ -1,0 +1,22 @@
+//! Figure 1: speedup of two tasks per CMP (double mode) relative to one
+//! task per CMP (single mode), for 2-16 CMPs.
+
+use slipstream_bench::{print_header, print_row, Cli, Runner};
+
+fn main() {
+    let cli = Cli::parse();
+    let sweep = cli.sweep();
+    let mut r = Runner::new();
+    println!("# Figure 1: double-mode speedup over single mode");
+    print_header("benchmark", &sweep.iter().map(|n| format!("{n}CMP")).collect::<Vec<_>>());
+    for w in cli.suite() {
+        let cells: Vec<f64> = sweep
+            .iter()
+            .map(|&n| {
+                let single = r.single(w.as_ref(), n);
+                r.double(w.as_ref(), n).speedup_over(&single)
+            })
+            .collect();
+        print_row(w.name(), &cells);
+    }
+}

@@ -1,0 +1,32 @@
+//! Figure 10: speedup of slipstream mode over the best of single and
+//! double modes, for three slipstream configurations: prefetching only,
+//! prefetching + transparent loads, and prefetching + transparent loads +
+//! self-invalidation. One-token global synchronization; 16 CMPs (FFT: 4).
+
+use slipstream_bench::{Cli, Runner};
+use slipstream_core::{ArSyncMode, SlipstreamConfig};
+
+fn main() {
+    let cli = Cli::parse();
+    let mut r = Runner::new();
+    let ar = ArSyncMode::OneTokenGlobal;
+    println!("# Figure 10: slipstream speedup over best(single, double), G1 sync");
+    println!("{:<12} {:>10} {:>10} {:>10}", "benchmark", "prefetch", "+transp", "+SI");
+    for w in cli.suite() {
+        if matches!(w.name(), "LU" | "WATER-SP") && !cli.quick {
+            continue; // excluded by the paper (§4.3): no stall time to attack
+        }
+        let nodes = if w.name() == "FFT" { 4 } else { *cli.sweep().last().unwrap_or(&16) };
+        let best = r.best_conventional(w.as_ref(), nodes) as f64;
+        let pf = r.slipstream(w.as_ref(), nodes, SlipstreamConfig::prefetch_only(ar));
+        let tr = r.slipstream(w.as_ref(), nodes, SlipstreamConfig::with_transparent(ar));
+        let si = r.slipstream(w.as_ref(), nodes, SlipstreamConfig::with_self_invalidation(ar));
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>10.3}",
+            w.name(),
+            best / pf.exec_cycles as f64,
+            best / tr.exec_cycles as f64,
+            best / si.exec_cycles as f64
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 4: speedup of single-mode execution over sequential execution
+//! for 2-16 CMPs.
+
+use slipstream_bench::{print_header, print_row, Cli, Runner};
+use slipstream_core::run_sequential;
+
+fn main() {
+    let cli = Cli::parse();
+    let sweep = cli.sweep();
+    let mut r = Runner::new();
+    println!("# Figure 4: single-mode speedup over sequential execution");
+    print_header("benchmark", &sweep.iter().map(|n| format!("{n}CMP")).collect::<Vec<_>>());
+    for w in cli.suite() {
+        let seq = run_sequential(w.as_ref());
+        eprintln!("  [sequential {}: {} cycles]", w.name(), seq.exec_cycles);
+        let cells: Vec<f64> = sweep
+            .iter()
+            .map(|&n| r.single(w.as_ref(), n).speedup_over(&seq))
+            .collect();
+        print_row(w.name(), &cells);
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 9: transparent-load breakdown — the percentage of A-stream read
+//! requests issued as transparent loads, split into those receiving
+//! transparent replies and those upgraded to normal loads. One-token
+//! global synchronization, 16 CMPs (4 for FFT), as in §4.3.
+
+use slipstream_bench::{Cli, Runner};
+use slipstream_core::{ArSyncMode, SlipstreamConfig};
+
+fn main() {
+    let cli = Cli::parse();
+    let mut r = Runner::new();
+    println!("# Figure 9: transparent load breakdown (% of A-stream read requests)");
+    println!("{:<12} {:>12} {:>14} {:>12}", "benchmark", "transparent", "trans-replies", "upgraded");
+    for w in cli.suite() {
+        // The paper focuses on 16 CMPs, except FFT at 4, and excludes
+        // LU/Water-SP (no stall time to recover).
+        if matches!(w.name(), "LU" | "WATER-SP") && !cli.quick {
+            continue;
+        }
+        let nodes = if w.name() == "FFT" { 4 } else { *cli.sweep().last().unwrap_or(&16) };
+        let res = r.slipstream(
+            w.as_ref(),
+            nodes,
+            SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal),
+        );
+        let total = res.mem.transparent_pct();
+        let trans = total * res.mem.transparent_reply_pct() / 100.0;
+        println!(
+            "{:<12} {:>12.1} {:>14.1} {:>12.1}",
+            w.name(),
+            total,
+            trans,
+            total - trans
+        );
+    }
+}

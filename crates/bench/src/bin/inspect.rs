@@ -1,0 +1,44 @@
+//! Inspect one run: benchmark, node count, mode, A-R sync, SI — prints
+//! the stream time breakdowns and memory-system statistics.
+//!
+//! Usage: `inspect <BENCH> <NODES> <single|double|slip> [--quick] [--ar L1|L0|G1|G0] [--si]`
+use slipstream_core::{run, ArSyncMode, ExecMode, RunSpec, SlipstreamConfig};
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(|s| s.as_str()).unwrap_or("SOR");
+    let nodes: u16 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let mode = match args.get(2).map(|s| s.as_str()) {
+        Some("double") => ExecMode::Double,
+        Some("slip") => ExecMode::Slipstream,
+        _ => ExecMode::Single,
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let w = slipstream_workloads::by_name(name, quick).expect("benchmark");
+    let ar = match args.iter().position(|a| a == "--ar") {
+        Some(i) => match args[i + 1].as_str() {
+            "L1" => ArSyncMode::OneTokenLocal,
+            "L0" => ArSyncMode::ZeroTokenLocal,
+            "G0" => ArSyncMode::ZeroTokenGlobal,
+            _ => ArSyncMode::OneTokenGlobal,
+        },
+        None => ArSyncMode::OneTokenGlobal,
+    };
+    let mut slip = SlipstreamConfig::prefetch_only(ar);
+    if args.iter().any(|a| a == "--si") {
+        slip = SlipstreamConfig::with_self_invalidation(ar);
+    }
+    let r = run(w.as_ref(), &RunSpec::new(nodes, mode).with_slip(slip));
+    println!("{} {} @{}: {} cycles, recoveries={}", name, mode, nodes, r.exec_cycles, r.recoveries);
+    for role in [slipstream_core::StreamRole::Solo, slipstream_core::StreamRole::R, slipstream_core::StreamRole::A] {
+        let b = r.avg_breakdown(role);
+        if b.total() > 0 {
+            println!("  {:?}: {}", role, b);
+        }
+    }
+    let m = &r.mem;
+    println!(
+        "  l1_hits={} l2_hits={} l2_miss={} merged={} local={} remote={} interv={} wb={} inv={} net={}",
+        m.l1_hits, m.l2_hits, m.l2_misses, m.merged_misses, m.local_txns, m.remote_txns,
+        m.interventions, m.writebacks, m.invalidations_sent, m.net_messages
+    );
+}

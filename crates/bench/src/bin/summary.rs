@@ -1,0 +1,40 @@
+//! Headline comparison (§3.4 / abstract): slipstream vs the best of
+//! single and double mode at 16 CMPs (FFT: 4), with the best A-R
+//! synchronization method per benchmark, prefetching only and with SI.
+
+use slipstream_bench::{Cli, Runner};
+use slipstream_core::{ArSyncMode, SlipstreamConfig};
+
+fn main() {
+    let cli = Cli::parse();
+    let mut r = Runner::new();
+    println!("# Slipstream vs best conventional mode");
+    println!(
+        "{:<12} {:>6} {:>10} {:>10} {:>8} {:>10} {:>10}",
+        "benchmark", "CMPs", "best-conv", "prefetch", "best-AR", "gain%", "gain+SI%"
+    );
+    for w in cli.suite() {
+        let nodes = if w.name() == "FFT" { 4 } else { *cli.sweep().last().unwrap_or(&16) };
+        let best = r.best_conventional(w.as_ref(), nodes) as f64;
+        let (best_ar, pf) = ArSyncMode::ALL
+            .iter()
+            .map(|&ar| (ar, r.slipstream(w.as_ref(), nodes, SlipstreamConfig::prefetch_only(ar))))
+            .min_by_key(|(_, res)| res.exec_cycles)
+            .expect("four candidates");
+        let si = r.slipstream(
+            w.as_ref(),
+            nodes,
+            SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal),
+        );
+        println!(
+            "{:<12} {:>6} {:>10.0} {:>10.0} {:>8} {:>9.1}% {:>9.1}%",
+            w.name(),
+            nodes,
+            best,
+            pf.exec_cycles as f64,
+            best_ar.label(),
+            100.0 * (best / pf.exec_cycles as f64 - 1.0),
+            100.0 * (best / si.exec_cycles as f64 - 1.0),
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Table 2: the benchmark suite and its data-set sizes, plus the derived
+//! program characteristics of our access-pattern reimplementations.
+
+use slipstream_bench::Cli;
+use slipstream_prog::Layout;
+
+fn main() {
+    let cli = Cli::parse();
+    println!("# Table 2: benchmarks and data set sizes");
+    println!(
+        "{:<12} {:>14} {:>12} {:>12} {:>10}",
+        "benchmark", "shared bytes", "ops/task", "barriers", "locks"
+    );
+    for w in cli.suite() {
+        let mut layout = Layout::new();
+        let build = w.instantiate(4, &mut layout);
+        let prog = build(&mut layout, slipstream_prog::InstanceId(0), 0);
+        let mut ops = 0u64;
+        let mut barriers = 0u64;
+        let mut locks = 0u64;
+        for op in prog.iter() {
+            ops += 1;
+            match op {
+                slipstream_prog::Op::Barrier(_) => barriers += 1,
+                slipstream_prog::Op::Lock(_) => locks += 1,
+                _ => {}
+            }
+        }
+        let shared: u64 = layout
+            .regions()
+            .iter()
+            .filter(|r| !matches!(r.kind, slipstream_prog::RegionKind::Private(_)))
+            .map(|r| r.bytes)
+            .sum();
+        println!("{:<12} {:>14} {:>12} {:>12} {:>10}", w.name(), shared, ops, barriers, locks);
+    }
+}

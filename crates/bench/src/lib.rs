@@ -1,0 +1,154 @@
+//! Shared harness code for the figure-reproduction binaries.
+//!
+//! Each `bin` target regenerates one table or figure of the paper; run
+//! them with `cargo run -p slipstream-bench --release --bin figN`.
+//! Common flags:
+//!
+//! * `--quick` — reduced problem sizes (same shapes, faster);
+//! * `--bench NAME` — restrict to one benchmark;
+//! * `--nodes N[,N...]` — override the CMP-count sweep.
+
+use std::collections::HashMap;
+
+use slipstream_core::{run, ExecMode, RunResult, RunSpec, SlipstreamConfig, Workload};
+use slipstream_workloads::{paper_suite, quick_suite};
+
+/// Parsed command-line options shared by every figure binary.
+#[derive(Debug, Clone, Default)]
+pub struct Cli {
+    /// Use reduced problem sizes.
+    pub quick: bool,
+    /// Restrict to one benchmark (case-insensitive).
+    pub only: Option<String>,
+    /// Override the node-count sweep.
+    pub nodes: Option<Vec<u16>>,
+}
+
+impl Cli {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed arguments.
+    pub fn parse() -> Cli {
+        let mut cli = Cli::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => cli.quick = true,
+                "--bench" => {
+                    cli.only = Some(args.next().expect("--bench needs a name"));
+                }
+                "--nodes" => {
+                    let v = args.next().expect("--nodes needs a list, e.g. 2,4,8,16");
+                    cli.nodes = Some(
+                        v.split(',')
+                            .map(|s| s.parse().expect("node counts are integers"))
+                            .collect(),
+                    );
+                }
+                other => panic!("unknown flag {other}; supported: --quick --bench NAME --nodes N,N"),
+            }
+        }
+        cli
+    }
+
+    /// The benchmark suite selected by the flags.
+    pub fn suite(&self) -> Vec<Box<dyn Workload>> {
+        let all = if self.quick { quick_suite() } else { paper_suite() };
+        match &self.only {
+            None => all,
+            Some(name) => all
+                .into_iter()
+                .filter(|w| w.name().eq_ignore_ascii_case(name))
+                .collect(),
+        }
+    }
+
+    /// The CMP-count sweep (paper: 2, 4, 8, 16).
+    pub fn sweep(&self) -> Vec<u16> {
+        self.nodes.clone().unwrap_or_else(|| vec![2, 4, 8, 16])
+    }
+}
+
+/// Memoizing run cache so figures that need the same baselines don't
+/// re-simulate them.
+#[derive(Default)]
+pub struct Runner {
+    cache: HashMap<String, RunResult>,
+}
+
+impl Runner {
+    /// Creates an empty cache.
+    pub fn new() -> Runner {
+        Runner::default()
+    }
+
+    /// Runs (or returns the cached result of) `workload` under `spec`.
+    pub fn run(&mut self, workload: &dyn Workload, spec: &RunSpec) -> RunResult {
+        let key = format!(
+            "{}|{}|{}|{:?}|{:?}",
+            workload.name(),
+            spec.nodes,
+            spec.mode,
+            spec.slip,
+            spec.machine
+        );
+        if let Some(r) = self.cache.get(&key) {
+            return r.clone();
+        }
+        let started = std::time::Instant::now();
+        let r = run(workload, spec);
+        eprintln!(
+            "  [ran {} {} @{} CMPs in {:.1}s: {} cycles]",
+            workload.name(),
+            spec.mode,
+            spec.nodes,
+            started.elapsed().as_secs_f64(),
+            r.exec_cycles
+        );
+        self.cache.insert(key, r.clone());
+        r
+    }
+
+    /// Single-mode baseline at `nodes` CMPs.
+    pub fn single(&mut self, w: &dyn Workload, nodes: u16) -> RunResult {
+        self.run(w, &RunSpec::new(nodes, ExecMode::Single))
+    }
+
+    /// Double-mode run at `nodes` CMPs.
+    pub fn double(&mut self, w: &dyn Workload, nodes: u16) -> RunResult {
+        self.run(w, &RunSpec::new(nodes, ExecMode::Double))
+    }
+
+    /// Slipstream run with the given configuration.
+    pub fn slipstream(&mut self, w: &dyn Workload, nodes: u16, slip: SlipstreamConfig) -> RunResult {
+        self.run(w, &RunSpec::new(nodes, ExecMode::Slipstream).with_slip(slip))
+    }
+
+    /// Execution cycles of the better of single and double mode (the
+    /// paper's "next best mode" baseline).
+    pub fn best_conventional(&mut self, w: &dyn Workload, nodes: u16) -> u64 {
+        let s = self.single(w, nodes).exec_cycles;
+        let d = self.double(w, nodes).exec_cycles;
+        s.min(d)
+    }
+}
+
+/// Prints a row of `f64` cells after a left-justified label.
+pub fn print_row(label: &str, cells: &[f64]) {
+    print!("{label:<12}");
+    for c in cells {
+        print!(" {c:>8.3}");
+    }
+    println!();
+}
+
+/// Prints a header row.
+pub fn print_header(label: &str, cols: &[String]) {
+    print!("{label:<12}");
+    for c in cols {
+        print!(" {c:>8}");
+    }
+    println!();
+}

@@ -1,0 +1,32 @@
+use slipstream_prog::{InstanceId, Layout, Program};
+
+/// Builds the program for one task: `(layout, instance, task_index)`.
+///
+/// The builder is called once per *stream instance*: in slipstream mode the
+/// A-stream copy of task `t` gets its own call with a distinct
+/// [`InstanceId`], so its private allocations are disjoint from the
+/// R-stream's (the paper: "each task has its own private data, but shared
+/// data are not replicated"). Shared addresses must depend only on
+/// `task_index`, never on the instance.
+pub type TaskBuilderFn = Box<dyn Fn(&mut Layout, InstanceId, usize) -> Program>;
+
+/// A parallel application, described as a set of per-task access-pattern
+/// programs over a shared address space.
+///
+/// Implementations allocate their shared arrays once in
+/// [`Workload::instantiate`] and capture the handles in the returned
+/// builder. See the crate-level example.
+pub trait Workload {
+    /// Benchmark name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Whether to use the 128 KB L2 of the paper's Water configuration
+    /// (Table 1 footnote) instead of the default 1 MB.
+    fn small_l2(&self) -> bool {
+        false
+    }
+
+    /// Allocates shared state for a run with `ntasks` parallel tasks and
+    /// returns the per-task program factory.
+    fn instantiate(&self, ntasks: usize, layout: &mut Layout) -> TaskBuilderFn;
+}

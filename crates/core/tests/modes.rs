@@ -1,0 +1,361 @@
+//! End-to-end tests of the execution modes: single, double, and slipstream
+//! (with every A-R synchronization method, recovery, input forwarding,
+//! critical sections, transparent loads, and self-invalidation).
+
+use slipstream_core::{
+    run, run_sequential, ArSyncMode, ExecMode, RunSpec, SlipstreamConfig, TaskBuilderFn, Workload,
+};
+use slipstream_kernel::Addr;
+use slipstream_mem::StreamRole;
+use slipstream_prog::{BarrierId, Layout, LockId, Op, ProgBuilder, Space};
+
+/// A block-partitioned producer-consumer kernel: each iteration every task
+/// reads its own chunk plus the neighbouring task's boundary lines, writes
+/// its own chunk, and barriers. Knobs select extra behaviours under test.
+struct Synth {
+    iters: u64,
+    lines_per_task: u64,
+    compute_per_line: u32,
+    use_lock: bool,
+    use_input: bool,
+    diverge: u32,
+}
+
+impl Default for Synth {
+    fn default() -> Synth {
+        Synth {
+            iters: 4,
+            lines_per_task: 64,
+            compute_per_line: 4,
+            use_lock: false,
+            use_input: false,
+            diverge: 0,
+        }
+    }
+}
+
+impl Workload for Synth {
+    fn name(&self) -> &str {
+        "synth"
+    }
+
+    fn instantiate(&self, ntasks: usize, layout: &mut Layout) -> TaskBuilderFn {
+        let total_lines = self.lines_per_task * ntasks as u64;
+        // Double-buffered shift kernel: in iteration i every task reads its
+        // right neighbour's chunk from buffer i%2 and writes its own chunk
+        // in buffer (i+1)%2, then barriers. All neighbour reads are
+        // coherence misses (the producer wrote them last iteration), which
+        // is the regime slipstream targets.
+        let buf0 = layout.shared("buf0", total_lines * 64);
+        let buf1 = layout.shared("buf1", total_lines * 64);
+        let iters = self.iters;
+        let lpt = self.lines_per_task;
+        let comp = self.compute_per_line;
+        let use_lock = self.use_lock;
+        let use_input = self.use_input;
+        let diverge = self.diverge;
+        Box::new(move |layout, inst, task| {
+            let scratch = layout.private(inst, "scratch", 16 * 64);
+            let my_first = task as u64 * lpt;
+            let next_first = ((task + 1) % ntasks) as u64 * lpt;
+            let bases = [buf0.base().0, buf1.base().0];
+            let mut b = ProgBuilder::new();
+            if use_input {
+                b.op(Op::Input);
+            }
+            b.for_n(iters, move |b| {
+                if diverge > 0 {
+                    b.op(Op::DivergeInA(diverge));
+                }
+                // Write own chunk into the next buffer. The A-stream skips
+                // these long-latency stores, which is what puts it ahead
+                // for the read phase below (§3.1 of the paper).
+                b.block(move |ctx, out| {
+                    let dst = bases[((ctx.i(0) + 1) % 2) as usize];
+                    for l in 0..lpt {
+                        out.push(Op::store_shared(Addr(dst + (my_first + l) * 64)));
+                        out.push(Op::Compute(comp));
+                    }
+                });
+                // Some private scratch traffic.
+                b.touch_lines(scratch.base(), 16 * 64, 64, true, Space::Private, 1);
+                if use_lock {
+                    b.lock(LockId(0));
+                    b.load_shared(Addr(bases[0]));
+                    b.store_shared(Addr(bases[0]));
+                    b.unlock(LockId(0));
+                }
+                // Read the neighbour's chunk, produced last iteration.
+                b.block(move |ctx, out| {
+                    let src = bases[(ctx.i(0) % 2) as usize];
+                    for l in 0..lpt {
+                        out.push(Op::load_shared(Addr(src + (next_first + l) * 64)));
+                        out.push(Op::Compute(comp));
+                    }
+                });
+                b.barrier(BarrierId(0));
+            });
+            b.build("synth-task")
+        })
+    }
+}
+
+#[test]
+fn all_modes_complete_and_are_deterministic() {
+    let w = Synth::default();
+    for mode in [ExecMode::Single, ExecMode::Double, ExecMode::Slipstream] {
+        let r1 = run(&w, &RunSpec::new(4, mode));
+        let r2 = run(&w, &RunSpec::new(4, mode));
+        assert!(r1.exec_cycles > 0);
+        assert_eq!(r1.exec_cycles, r2.exec_cycles, "{mode} must be deterministic");
+        assert_eq!(r1.recoveries, 0);
+        let expected_streams = match mode {
+            ExecMode::Single => 4,
+            ExecMode::Double => 8,
+            ExecMode::Slipstream => 8,
+        };
+        assert_eq!(r1.streams.len(), expected_streams);
+        // Every stream's breakdown must account for its finish time.
+        for s in &r1.streams {
+            assert!(s.breakdown.total() <= s.finish + 1, "over-accounted {:?}", s);
+            assert!(s.breakdown.busy > 0);
+        }
+    }
+}
+
+#[test]
+fn slipstream_prefetch_beats_single_on_memory_bound_kernel() {
+    // Little compute, lots of coherence misses: the paper's target regime.
+    let w = Synth { compute_per_line: 2, lines_per_task: 128, iters: 5, ..Synth::default() };
+    let single = run(&w, &RunSpec::new(4, ExecMode::Single));
+    let slip = run(
+        &w,
+        &RunSpec::new(4, ExecMode::Slipstream)
+            .with_slip(SlipstreamConfig::prefetch_only(ArSyncMode::ZeroTokenLocal)),
+    );
+    assert!(
+        slip.exec_cycles < single.exec_cycles,
+        "slipstream ({}) should beat single ({})",
+        slip.exec_cycles,
+        single.exec_cycles
+    );
+    // Prefetches actually happened and were useful.
+    assert!(slip.mem.class.reads.a_timely > 0, "{:?}", slip.mem.class);
+}
+
+#[test]
+fn every_ar_sync_mode_completes() {
+    let w = Synth::default();
+    let mut cycles = Vec::new();
+    for ar in ArSyncMode::ALL {
+        let spec = RunSpec::new(4, ExecMode::Slipstream)
+            .with_slip(SlipstreamConfig::prefetch_only(ar));
+        let r = run(&w, &spec);
+        assert!(r.exec_cycles > 0, "{ar} failed");
+        assert_eq!(r.recoveries, 0, "{ar} should not recover");
+        cycles.push((ar, r.exec_cycles));
+    }
+    // The A-stream waits more under the tightest sync (G0) than the
+    // loosest (L1): check ar accounting exists at all.
+    let w2 = Synth { compute_per_line: 40, ..Synth::default() };
+    let g0 = run(
+        &w2,
+        &RunSpec::new(2, ExecMode::Slipstream)
+            .with_slip(SlipstreamConfig::prefetch_only(ArSyncMode::ZeroTokenGlobal)),
+    );
+    let a_wait = g0.avg_breakdown(StreamRole::A).ar_sync;
+    assert!(a_wait > 0, "A-stream should spend time in A-R sync under G0");
+}
+
+#[test]
+fn deviating_a_stream_is_recovered() {
+    // The A-stream executes a huge wrong-path burst each iteration, so the
+    // R-stream reaches the session end first -> kill + refork.
+    let w = Synth { diverge: 2_000_000, compute_per_line: 1, ..Synth::default() };
+    let r = run(&w, &RunSpec::new(2, ExecMode::Slipstream));
+    assert!(r.recoveries > 0, "deviation must trigger recovery");
+    assert!(r.exec_cycles > 0);
+}
+
+#[test]
+fn input_results_are_forwarded_to_a_stream() {
+    let w = Synth { use_input: true, ..Synth::default() };
+    let r = run(&w, &RunSpec::new(2, ExecMode::Slipstream));
+    assert_eq!(r.recoveries, 0);
+    // Also fine in non-slipstream modes.
+    let s = run(&w, &RunSpec::new(2, ExecMode::Single));
+    assert!(s.exec_cycles > 0);
+}
+
+#[test]
+fn critical_sections_work_in_all_modes() {
+    let w = Synth { use_lock: true, ..Synth::default() };
+    for mode in [ExecMode::Single, ExecMode::Double, ExecMode::Slipstream] {
+        let r = run(&w, &RunSpec::new(4, mode));
+        assert!(r.exec_cycles > 0, "{mode}");
+        // Someone must have waited for the contended lock.
+        let lock_wait: u64 =
+            r.streams.iter().filter(|s| s.role != StreamRole::A).map(|s| s.breakdown.lock).sum();
+        assert!(lock_wait > 0, "{mode}: no lock contention measured");
+    }
+}
+
+#[test]
+fn transparent_loads_and_si_run_clean() {
+    let w = Synth { compute_per_line: 2, lines_per_task: 128, iters: 6, ..Synth::default() };
+    let spec = RunSpec::new(4, ExecMode::Slipstream)
+        .with_slip(SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal));
+    let r = run(&w, &spec);
+    assert!(r.exec_cycles > 0);
+    assert!(r.mem.transparent_issued > 0, "A-stream should issue transparent loads");
+    assert!(
+        r.mem.transparent_replies + r.mem.upgraded_replies == r.mem.transparent_issued,
+        "every transparent load gets exactly one reply kind: {:?}",
+        r.mem
+    );
+    // Producer-consumer kernel: SI must downgrade some lines.
+    assert!(r.mem.si_hints > 0);
+    assert!(r.mem.si_downgrades + r.mem.si_invalidations > 0);
+}
+
+#[test]
+fn sequential_baseline_runs_whole_problem_on_one_node() {
+    let w = Synth::default();
+    let seq = run_sequential(&w);
+    assert_eq!(seq.nodes, 1);
+    assert_eq!(seq.tasks, 1);
+    assert_eq!(seq.mem.remote_txns, 0, "sequential run has no remote traffic");
+}
+
+#[test]
+fn double_mode_places_two_tasks_per_node() {
+    let w = Synth::default();
+    let r = run(&w, &RunSpec::new(2, ExecMode::Double));
+    assert_eq!(r.tasks, 4);
+    let mut per_node = [0; 2];
+    for s in &r.streams {
+        per_node[s.cpu.node().idx()] += 1;
+    }
+    assert_eq!(per_node, [2, 2]);
+}
+
+#[test]
+fn exclusive_prefetch_can_be_disabled() {
+    let w = Synth::default();
+    let mut slip = SlipstreamConfig::prefetch_only(ArSyncMode::ZeroTokenGlobal);
+    slip.exclusive_prefetch = false;
+    let r = run(&w, &RunSpec::new(2, ExecMode::Slipstream).with_slip(slip));
+    assert_eq!(r.mem.excl_prefetches, 0);
+    let mut slip_on = SlipstreamConfig::prefetch_only(ArSyncMode::ZeroTokenGlobal);
+    slip_on.exclusive_prefetch = true;
+    let r_on = run(&w, &RunSpec::new(2, ExecMode::Slipstream).with_slip(slip_on));
+    assert!(r_on.mem.excl_prefetches > 0);
+}
+
+#[test]
+fn adaptive_ar_selection_locks_in_a_competitive_method() {
+    // §6 future work: dynamic A-R selection. With enough sessions to
+    // sample all four methods, the adaptive run must complete, stay
+    // deterministic, and land within the envelope of the fixed methods
+    // (sampling overhead bounded).
+    let w = Synth { iters: 40, lines_per_task: 32, compute_per_line: 4, ..Synth::default() };
+    let fixed: Vec<u64> = ArSyncMode::ALL
+        .iter()
+        .map(|&ar| {
+            run(
+                &w,
+                &RunSpec::new(2, ExecMode::Slipstream)
+                    .with_slip(SlipstreamConfig::prefetch_only(ar)),
+            )
+            .exec_cycles
+        })
+        .collect();
+    let spec = RunSpec::new(2, ExecMode::Slipstream).with_slip(SlipstreamConfig::adaptive());
+    let a1 = run(&w, &spec);
+    let a2 = run(&w, &spec);
+    assert_eq!(a1.exec_cycles, a2.exec_cycles, "adaptive mode must stay deterministic");
+    let worst = *fixed.iter().max().expect("four methods");
+    assert!(
+        a1.exec_cycles <= worst + worst / 10,
+        "adaptive ({}) should not be far worse than the worst fixed method ({worst})",
+        a1.exec_cycles
+    );
+    assert_eq!(a1.recoveries, 0);
+}
+
+/// A pipelined producer-consumer chain built on events: stage t waits for
+/// stage t-1's post each round. Exercises event-wait session boundaries,
+/// A-stream event skipping, and token flow through EventWait.
+struct EventPipeline {
+    rounds: u64,
+    lines: u64,
+}
+
+impl Workload for EventPipeline {
+    fn name(&self) -> &str {
+        "event-pipeline"
+    }
+
+    fn instantiate(&self, ntasks: usize, layout: &mut Layout) -> TaskBuilderFn {
+        let lines = self.lines;
+        let blocks: Vec<slipstream_prog::ArrayRef> = (0..ntasks)
+            .map(|t| layout.shared_owned(&format!("stage{t}"), lines * 64, t))
+            .collect();
+        let rounds = self.rounds;
+        Box::new(move |_layout, _inst, task| {
+            let prev = blocks[(task + ntasks - 1) % ntasks];
+            let mine = blocks[task];
+            let my_event = slipstream_prog::EventId(task as u32);
+            let next_event = slipstream_prog::EventId(((task + 1) % ntasks) as u32);
+            let mut b = ProgBuilder::new();
+            b.for_n(rounds, move |b| {
+                if task != 0 {
+                    b.wait(my_event);
+                }
+                b.block(move |_, out| {
+                    for l in 0..lines {
+                        out.push(Op::load_shared(Addr(prev.base().0 + l * 64)));
+                        out.push(Op::Compute(10));
+                        out.push(Op::store_shared(Addr(mine.base().0 + l * 64)));
+                    }
+                });
+                b.post(next_event);
+                b.barrier(BarrierId(0));
+            });
+            b.build("stage")
+        })
+    }
+}
+
+#[test]
+fn event_pipeline_runs_in_all_modes_and_slipstream_helps() {
+    let w = EventPipeline { rounds: 5, lines: 128 };
+    let single = run(&w, &RunSpec::new(4, ExecMode::Single));
+    let double = run(&w, &RunSpec::new(4, ExecMode::Double));
+    let slip = run(&w, &RunSpec::new(4, ExecMode::Slipstream));
+    assert!(single.exec_cycles > 0 && double.exec_cycles > 0);
+    assert_eq!(slip.recoveries, 0, "event waits are session ends, not deviations");
+    assert!(
+        slip.exec_cycles < single.exec_cycles,
+        "run-ahead A-streams should hide the pipeline's coherence misses: {} vs {}",
+        slip.exec_cycles,
+        single.exec_cycles
+    );
+}
+
+#[test]
+fn max_tokens_caps_a_stream_lookahead() {
+    // With the loosest method and a deep token cap, the A-stream may bank
+    // many sessions; capping to 1 keeps it at most one ahead. Both must
+    // complete; the capped run cannot wait *less* on tokens.
+    let w = Synth { iters: 12, ..Synth::default() };
+    let mut loose = SlipstreamConfig::prefetch_only(ArSyncMode::OneTokenLocal);
+    loose.max_tokens = u32::MAX;
+    let mut capped = SlipstreamConfig::prefetch_only(ArSyncMode::OneTokenLocal);
+    capped.max_tokens = 1;
+    let rl = run(&w, &RunSpec::new(2, ExecMode::Slipstream).with_slip(loose));
+    let rc = run(&w, &RunSpec::new(2, ExecMode::Slipstream).with_slip(capped));
+    let wait_l = rl.avg_breakdown(StreamRole::A).ar_sync;
+    let wait_c = rc.avg_breakdown(StreamRole::A).ar_sync;
+    assert!(wait_c >= wait_l, "capped A-stream waits at least as much: {wait_c} vs {wait_l}");
+}

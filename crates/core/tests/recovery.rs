@@ -1,0 +1,126 @@
+//! Deviation detection and kill/refork recovery (§3.2): repeated
+//! deviations, recovery under every A-R method, interaction with input
+//! forwarding, and the epoch fencing of stale wakeups.
+
+use slipstream_core::{run, ArSyncMode, ExecMode, RunSpec, SlipstreamConfig, TaskBuilderFn, Workload};
+use slipstream_kernel::Addr;
+use slipstream_prog::{BarrierId, Layout, Op, ProgBuilder};
+
+/// A kernel whose A-stream takes a long wrong path in chosen iterations.
+struct Deviator {
+    iters: u64,
+    /// Extra wrong-path cycles the A-stream burns per marked iteration.
+    wrong_path: u32,
+    /// Mark every `period`-th iteration (0 = never).
+    period: u64,
+    use_input: bool,
+}
+
+impl Workload for Deviator {
+    fn name(&self) -> &str {
+        "deviator"
+    }
+
+    fn instantiate(&self, ntasks: usize, layout: &mut Layout) -> TaskBuilderFn {
+        let data = layout.shared("data", 256 * 64 * ntasks as u64);
+        let iters = self.iters;
+        let wrong = self.wrong_path;
+        let period = self.period;
+        let use_input = self.use_input;
+        Box::new(move |_layout, _inst, task| {
+            let base = data.base().0 + task as u64 * 256 * 64;
+            let mut b = ProgBuilder::new();
+            if use_input {
+                b.op(Op::Input);
+            }
+            b.for_n(iters, move |b| {
+                // Wrong-path burst in the marked iterations only.
+                if period > 0 {
+                    b.gen(move |ctx| {
+                        if ctx.i(0) % period == period - 1 {
+                            Op::DivergeInA(wrong)
+                        } else {
+                            Op::Compute(1)
+                        }
+                    });
+                }
+                b.block(move |_, out| {
+                    for l in 0..64u64 {
+                        out.push(Op::load_shared(Addr(base + l * 64)));
+                        out.push(Op::Compute(20));
+                        out.push(Op::store_shared(Addr(base + l * 64)));
+                    }
+                });
+                b.barrier(BarrierId(0));
+            });
+            b.build("deviator")
+        })
+    }
+}
+
+#[test]
+fn periodic_deviations_recover_repeatedly() {
+    let w = Deviator { iters: 8, wrong_path: 3_000_000, period: 3, use_input: false };
+    let r = run(&w, &RunSpec::new(2, ExecMode::Slipstream));
+    assert!(r.recoveries >= 2, "expected repeated recoveries, got {}", r.recoveries);
+    assert!(r.exec_cycles > 0);
+}
+
+#[test]
+fn recovery_works_under_every_ar_method() {
+    let w = Deviator { iters: 5, wrong_path: 3_000_000, period: 2, use_input: false };
+    for ar in ArSyncMode::ALL {
+        let spec =
+            RunSpec::new(2, ExecMode::Slipstream).with_slip(SlipstreamConfig::prefetch_only(ar));
+        let r = run(&w, &spec);
+        assert!(r.recoveries > 0, "{ar}: no recovery despite divergence");
+    }
+}
+
+#[test]
+fn recovery_composes_with_input_forwarding() {
+    let w = Deviator { iters: 6, wrong_path: 3_000_000, period: 2, use_input: true };
+    let r = run(&w, &RunSpec::new(2, ExecMode::Slipstream));
+    assert!(r.recoveries > 0);
+    assert!(r.exec_cycles > 0);
+}
+
+#[test]
+fn healthy_kernels_never_recover() {
+    let w = Deviator { iters: 8, wrong_path: 0, period: 0, use_input: false };
+    for ar in ArSyncMode::ALL {
+        let spec = RunSpec::new(4, ExecMode::Slipstream)
+            .with_slip(SlipstreamConfig::with_self_invalidation(ar));
+        let r = run(&w, &spec);
+        assert_eq!(r.recoveries, 0, "{ar}: spurious recovery");
+    }
+}
+
+#[test]
+fn recovery_penalty_is_visible() {
+    // With divergence, slipstream should still complete but pay for
+    // recoveries: more cycles than the clean version of the same kernel.
+    let clean = Deviator { iters: 6, wrong_path: 0, period: 0, use_input: false };
+    let dirty = Deviator { iters: 6, wrong_path: 3_000_000, period: 2, use_input: false };
+    let rc = run(&clean, &RunSpec::new(2, ExecMode::Slipstream));
+    let rd = run(&dirty, &RunSpec::new(2, ExecMode::Slipstream));
+    assert!(rd.exec_cycles >= rc.exec_cycles);
+    // And the deviating A-stream must not slow the R-stream down to worse
+    // than ~single-mode behaviour (the A-stream is expendable).
+    let single = run(&dirty, &RunSpec::new(2, ExecMode::Single));
+    assert!(
+        (rd.exec_cycles as f64) < single.exec_cycles as f64 * 1.25,
+        "recovery storms: slipstream {} vs single {}",
+        rd.exec_cycles,
+        single.exec_cycles
+    );
+}
+
+#[test]
+fn deviation_is_deterministic() {
+    let w = Deviator { iters: 8, wrong_path: 3_000_000, period: 3, use_input: false };
+    let a = run(&w, &RunSpec::new(2, ExecMode::Slipstream));
+    let b = run(&w, &RunSpec::new(2, ExecMode::Slipstream));
+    assert_eq!(a.recoveries, b.recoveries);
+    assert_eq!(a.exec_cycles, b.exec_cycles);
+}

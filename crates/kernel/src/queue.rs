@@ -1,0 +1,171 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A deterministic discrete-event queue.
+///
+/// Events are ordered by timestamp; events with equal timestamps pop in the
+/// order they were pushed (FIFO). Together with a single-threaded simulation
+/// loop this makes every run bit-for-bit reproducible, which the test suite
+/// and the paper-reproduction harness rely on.
+///
+/// # Example
+///
+/// ```
+/// use slipstream_kernel::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(3), 'x');
+/// q.push(Cycle(1), 'y');
+/// assert_eq!(q.peek_time(), Some(Cycle(1)));
+/// assert_eq!(q.pop(), Some((Cycle(1), 'y')));
+/// assert_eq!(q.pop(), Some((Cycle(3), 'x')));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` to fire at time `at`.
+    pub fn push(&mut self, at: Cycle, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time: at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(30), 3);
+        q.push(Cycle(10), 1);
+        q.push(Cycle(20), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(7), i)));
+        }
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Cycle(1), ());
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), 'a');
+        q.push(Cycle(2), 'b');
+        assert_eq!(q.pop(), Some((Cycle(2), 'b')));
+        q.push(Cycle(1), 'c'); // earlier than remaining event
+        assert_eq!(q.pop(), Some((Cycle(1), 'c')));
+        assert_eq!(q.pop(), Some((Cycle(5), 'a')));
+    }
+
+    proptest! {
+        /// Popping always yields non-decreasing timestamps, and within a
+        /// timestamp, increasing push order.
+        #[test]
+        fn prop_pop_order(times in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(Cycle(*t), i);
+            }
+            let mut last: Option<(Cycle, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((lt, li)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(i > li);
+                    }
+                }
+                last = Some((t, i));
+            }
+        }
+    }
+}

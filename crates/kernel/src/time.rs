@@ -1,0 +1,159 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, measured in processor cycles.
+///
+/// The simulated machine runs at 1 GHz (as in the paper), so one cycle is
+/// one nanosecond, but nothing in the simulator depends on wall-clock units.
+///
+/// `Cycle` is used both as an absolute timestamp and as a duration; the
+/// arithmetic operators below are closed over the type, which keeps the
+/// simulator honest about units without a second newtype.
+///
+/// # Example
+///
+/// ```
+/// use slipstream_kernel::Cycle;
+///
+/// let start = Cycle(100);
+/// let lat = Cycle(290); // minimum remote miss latency
+/// assert_eq!(start + lat, Cycle(390));
+/// assert_eq!((start + lat) - start, lat);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero; the start of every simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The raw cycle count.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Duration from `earlier` to `self`, saturating at zero rather than
+    /// panicking when `earlier` is actually later.
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self` (underflow);
+    /// use [`Cycle::since`] for a saturating difference.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Cycle(7);
+        let b = Cycle(5);
+        assert_eq!(a + b, Cycle(12));
+        assert_eq!(a - b, Cycle(2));
+        assert_eq!(a + 3, Cycle(10));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycle(12));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(Cycle(5).since(Cycle(9)), Cycle::ZERO);
+        assert_eq!(Cycle(9).since(Cycle(5)), Cycle(4));
+    }
+
+    #[test]
+    fn ordering_and_extremes() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle(1).max(Cycle(2)), Cycle(2));
+        assert_eq!(Cycle(1).min(Cycle(2)), Cycle(1));
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle(42).to_string(), "42cyc");
+    }
+}

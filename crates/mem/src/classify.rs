@@ -1,0 +1,188 @@
+use std::ops::{Add, AddAssign};
+
+use crate::msg::StreamRole;
+
+/// The six-way classification of shared-data memory requests from Figure 7
+/// of the paper.
+///
+/// * `A-Timely`: data fetched by the A-stream and later referenced by the
+///   R-stream — a successful prefetch.
+/// * `A-Late`: the R-stream referenced the data while the A-stream's
+///   request was still outstanding (the accesses merged).
+/// * `A-Only`: data fetched by the A-stream was evicted or invalidated
+///   without the R-stream ever referencing it — harmful traffic.
+/// * `R-Timely` / `R-Late` / `R-Only`: the mirror-image classification of
+///   R-stream requests, completing the picture of how correlated the two
+///   streams' shared-data footprints are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassCounts {
+    pub a_timely: u64,
+    pub a_late: u64,
+    pub a_only: u64,
+    pub r_timely: u64,
+    pub r_late: u64,
+    pub r_only: u64,
+}
+
+impl ClassCounts {
+    /// Total classified requests.
+    pub fn total(&self) -> u64 {
+        self.a_timely + self.a_late + self.a_only + self.r_timely + self.r_late + self.r_only
+    }
+
+    /// Each bucket as a percentage of the total, in the order
+    /// `[A-Timely, A-Late, A-Only, R-Timely, R-Late, R-Only]`.
+    /// Returns zeros when no requests were classified.
+    pub fn percentages(&self) -> [f64; 6] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 6];
+        }
+        let p = |x: u64| 100.0 * x as f64 / t as f64;
+        [
+            p(self.a_timely),
+            p(self.a_late),
+            p(self.a_only),
+            p(self.r_timely),
+            p(self.r_late),
+            p(self.r_only),
+        ]
+    }
+}
+
+impl Add for ClassCounts {
+    type Output = ClassCounts;
+    fn add(self, o: ClassCounts) -> ClassCounts {
+        ClassCounts {
+            a_timely: self.a_timely + o.a_timely,
+            a_late: self.a_late + o.a_late,
+            a_only: self.a_only + o.a_only,
+            r_timely: self.r_timely + o.r_timely,
+            r_late: self.r_late + o.r_late,
+            r_only: self.r_only + o.r_only,
+        }
+    }
+}
+
+impl AddAssign for ClassCounts {
+    fn add_assign(&mut self, o: ClassCounts) {
+        *self = *self + o;
+    }
+}
+
+/// Classification state for one *open* request: a fill whose final category
+/// is not yet known (it closes when the line is evicted, invalidated, or at
+/// the end of simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenReq {
+    /// Which stream issued the request that fetched the data.
+    pub issuer: StreamRole,
+    /// The other stream merged into this request while it was outstanding
+    /// (classified `Late` immediately; the close is then a no-op).
+    pub late: bool,
+    /// The other stream referenced the line after the fill.
+    pub reffed_other: bool,
+}
+
+impl OpenReq {
+    /// A fresh open request by `issuer`.
+    pub fn new(issuer: StreamRole) -> OpenReq {
+        OpenReq { issuer, late: false, reffed_other: false }
+    }
+}
+
+/// Read- and exclusive-request classification accumulators (top and bottom
+/// graphs of Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestClass {
+    /// Classification of shared read requests.
+    pub reads: ClassCounts,
+    /// Classification of shared exclusive requests (stores / upgrades /
+    /// exclusive prefetches).
+    pub excl: ClassCounts,
+}
+
+impl RequestClass {
+    /// Record the `Late` outcome for an open request (at merge time).
+    pub fn count_late(&mut self, is_read: bool, issuer: StreamRole) {
+        let c = if is_read { &mut self.reads } else { &mut self.excl };
+        match issuer {
+            StreamRole::A => c.a_late += 1,
+            StreamRole::R | StreamRole::Solo => c.r_late += 1,
+        }
+    }
+
+    /// Close an open request (at eviction/invalidation/simulation end).
+    pub fn close(&mut self, is_read: bool, req: OpenReq) {
+        if req.late {
+            return; // already counted at merge time
+        }
+        let c = if is_read { &mut self.reads } else { &mut self.excl };
+        match (req.issuer, req.reffed_other) {
+            (StreamRole::A, true) => c.a_timely += 1,
+            (StreamRole::A, false) => c.a_only += 1,
+            (StreamRole::R | StreamRole::Solo, true) => c.r_timely += 1,
+            (StreamRole::R | StreamRole::Solo, false) => c.r_only += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_buckets() {
+        let mut rc = RequestClass::default();
+        rc.close(true, OpenReq { issuer: StreamRole::A, late: false, reffed_other: true });
+        rc.close(true, OpenReq { issuer: StreamRole::A, late: false, reffed_other: false });
+        rc.close(true, OpenReq { issuer: StreamRole::R, late: false, reffed_other: true });
+        rc.close(false, OpenReq { issuer: StreamRole::R, late: false, reffed_other: false });
+        assert_eq!(rc.reads.a_timely, 1);
+        assert_eq!(rc.reads.a_only, 1);
+        assert_eq!(rc.reads.r_timely, 1);
+        assert_eq!(rc.excl.r_only, 1);
+    }
+
+    #[test]
+    fn late_requests_close_as_noop() {
+        let mut rc = RequestClass::default();
+        rc.count_late(true, StreamRole::A);
+        rc.close(true, OpenReq { issuer: StreamRole::A, late: true, reffed_other: true });
+        assert_eq!(rc.reads.a_late, 1);
+        assert_eq!(rc.reads.a_timely, 0);
+        assert_eq!(rc.reads.total(), 1);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let c = ClassCounts { a_timely: 1, a_late: 2, a_only: 3, r_timely: 4, r_late: 5, r_only: 5 };
+        let p = c.percentages();
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!((p[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_percentages_are_zero() {
+        assert_eq!(ClassCounts::default().percentages(), [0.0; 6]);
+    }
+
+    #[test]
+    fn counts_add() {
+        let a = ClassCounts { a_timely: 1, ..Default::default() };
+        let b = ClassCounts { r_only: 2, ..Default::default() };
+        let mut c = a + b;
+        c += a;
+        assert_eq!(c.a_timely, 2);
+        assert_eq!(c.r_only, 2);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn solo_counts_as_r() {
+        let mut rc = RequestClass::default();
+        rc.count_late(false, StreamRole::Solo);
+        assert_eq!(rc.excl.r_late, 1);
+    }
+}

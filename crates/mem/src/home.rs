@@ -1,0 +1,190 @@
+use slipstream_kernel::{Addr, LineAddr, NodeId};
+use slipstream_prog::{InstanceId, Layout, RegionKind};
+
+/// Maps addresses to home nodes (the node holding the memory and directory
+/// entry for a line).
+///
+/// Shared regions are interleaved page-by-page round-robin across all
+/// nodes, approximating the Origin-style distributed memory of the paper's
+/// machine. Private regions are homed entirely at the node running the
+/// owning stream instance, so private misses are local (170-cycle) misses.
+///
+/// # Example
+///
+/// ```
+/// use slipstream_prog::{Layout, InstanceId};
+/// use slipstream_kernel::NodeId;
+/// use slipstream_mem::HomeMap;
+///
+/// let mut layout = Layout::new();
+/// let shared = layout.shared("grid", 4 * 4096);
+/// let map = HomeMap::new(&layout, 4, |_inst| NodeId(2), |_task| NodeId(1));
+/// // Consecutive pages of shared data round-robin across the 4 nodes.
+/// let h0 = map.home_of(shared.at_byte(0));
+/// let h1 = map.home_of(shared.at_byte(4096));
+/// assert_ne!(h0, h1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HomeMap {
+    page_bytes: u64,
+    nodes: u16,
+    /// Sorted, disjoint regions: (base, end, home). `home == None` means
+    /// page-interleaved shared data.
+    regions: Vec<(u64, u64, Option<NodeId>)>,
+}
+
+impl HomeMap {
+    /// Builds the map from an application layout and a placement function
+    /// mapping each private-region owner (stream instance) to its node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or if a placement returns an out-of-range
+    /// node.
+    pub fn new(
+        layout: &Layout,
+        nodes: u16,
+        place_inst: impl Fn(InstanceId) -> NodeId,
+        place_task: impl Fn(u32) -> NodeId,
+    ) -> HomeMap {
+        assert!(nodes > 0, "need at least one node");
+        let mut regions: Vec<(u64, u64, Option<NodeId>)> = layout
+            .regions()
+            .iter()
+            .map(|r| {
+                let home = match r.kind {
+                    RegionKind::Shared => None,
+                    RegionKind::SharedOwned(task) => {
+                        let n = place_task(task);
+                        assert!(n.0 < nodes, "placement {n} out of range for {nodes} nodes");
+                        Some(n)
+                    }
+                    RegionKind::Private(owner) => {
+                        let n = place_inst(owner);
+                        assert!(n.0 < nodes, "placement {n} out of range for {nodes} nodes");
+                        Some(n)
+                    }
+                };
+                (r.base.0, r.end().0, home)
+            })
+            .collect();
+        regions.sort_by_key(|r| r.0);
+        for w in regions.windows(2) {
+            assert!(w[0].1 <= w[1].0, "layout regions overlap");
+        }
+        HomeMap { page_bytes: layout.page_bytes(), nodes, regions }
+    }
+
+    /// A trivial map for tests: everything shared, interleaved over `nodes`.
+    pub fn uniform(nodes: u16, page_bytes: u64) -> HomeMap {
+        assert!(nodes > 0);
+        HomeMap { page_bytes, nodes, regions: vec![(0, u64::MAX, None)] }
+    }
+
+    /// Home node of a byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address was never allocated (simulator bug or program
+    /// touching memory outside its layout).
+    pub fn home_of(&self, addr: Addr) -> NodeId {
+        let i = self
+            .regions
+            .partition_point(|&(base, _, _)| base <= addr.0)
+            .checked_sub(1)
+            .unwrap_or_else(|| panic!("access to unallocated address {addr}"));
+        let (base, end, home) = self.regions[i];
+        assert!(
+            addr.0 >= base && addr.0 < end,
+            "access to unallocated address {addr} (nearest region {base}..{end})"
+        );
+        match home {
+            Some(n) => n,
+            None => NodeId(((addr.0 / self.page_bytes) % self.nodes as u64) as u16),
+        }
+    }
+
+    /// Home node of a cache line.
+    pub fn home_of_line(&self, line: LineAddr, line_bytes: u64) -> NodeId {
+        self.home_of(line.base(line_bytes))
+    }
+
+    /// Number of nodes this map distributes over.
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_pages_interleave() {
+        let map = HomeMap::uniform(4, 4096);
+        let homes: Vec<u16> = (0..8).map(|p| map.home_of(Addr(p * 4096)).0).collect();
+        assert_eq!(homes, [0, 1, 2, 3, 0, 1, 2, 3]);
+        // All addresses within a page share a home.
+        assert_eq!(map.home_of(Addr(4096)), map.home_of(Addr(8191)));
+    }
+
+    #[test]
+    fn private_regions_are_homed_at_owner() {
+        let mut layout = Layout::new();
+        let _sh = layout.shared("s", 4096);
+        let pr = layout.private(InstanceId(7), "p", 4096);
+        let map = HomeMap::new(
+            &layout,
+            4,
+            |inst| {
+                assert_eq!(inst, InstanceId(7));
+                NodeId(3)
+            },
+            |_t| NodeId(0),
+        );
+        assert_eq!(map.home_of(pr.at_byte(0)), NodeId(3));
+        assert_eq!(map.home_of(pr.at_byte(4095)), NodeId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn unallocated_address_panics() {
+        let mut layout = Layout::new();
+        layout.shared("s", 4096);
+        let map = HomeMap::new(&layout, 2, |_| NodeId(0), |_t| NodeId(0));
+        map.home_of(Addr(1 << 40));
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn address_zero_panics() {
+        let mut layout = Layout::new();
+        layout.shared("s", 4096);
+        let map = HomeMap::new(&layout, 2, |_| NodeId(0), |_t| NodeId(0));
+        map.home_of(Addr(0));
+    }
+
+    #[test]
+    fn shared_owned_regions_follow_task_placement() {
+        let mut layout = Layout::new();
+        let blk = layout.shared_owned("block3", 8192, 3);
+        let map = HomeMap::new(&layout, 4, |_| NodeId(0), |task| NodeId(task as u16));
+        assert_eq!(map.home_of(blk.at_byte(0)), NodeId(3));
+        assert_eq!(map.home_of(blk.at_byte(8191)), NodeId(3));
+    }
+
+    #[test]
+    fn line_home_matches_byte_home() {
+        let map = HomeMap::uniform(3, 4096);
+        let a = Addr(123456);
+        assert_eq!(map.home_of(a), map.home_of_line(a.line(64), 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_placement_panics() {
+        let mut layout = Layout::new();
+        layout.private(InstanceId(0), "p", 64);
+        let _ = HomeMap::new(&layout, 2, |_| NodeId(5), |_t| NodeId(0));
+    }
+}

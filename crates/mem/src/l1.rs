@@ -1,0 +1,217 @@
+use slipstream_kernel::config::CacheGeometry;
+use slipstream_kernel::LineAddr;
+
+/// State of a line in an L1 cache.
+///
+/// L1 coherence is managed entirely by the node's shared L2 (inclusion is
+/// enforced: an L1 may only hold lines its L2 holds). `Modified` is only
+/// permitted when the L2 holds the line exclusively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1State {
+    /// Clean, readable copy.
+    Shared,
+    /// Dirty, writable copy (node's L2 is the exclusive owner).
+    Modified,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct L1Line {
+    line: LineAddr,
+    state: L1State,
+}
+
+/// A private per-processor L1 data cache (32 KB, 2-way in the paper).
+///
+/// Set-associative with true-LRU replacement. Timing is handled by the
+/// caller; this type only tracks contents. Evicted dirty lines are folded
+/// into the L2 (same chip) at zero cost, which the caller performs via the
+/// returned victim.
+#[derive(Debug)]
+pub struct L1Cache {
+    sets: Vec<Vec<L1Line>>, // per set, LRU order: most recent last
+    ways: usize,
+    set_mask: u64,
+}
+
+/// Result of inserting a line into the L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Victim {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Whether the victim was dirty (must be folded back into the L2).
+    pub dirty: bool,
+}
+
+impl L1Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(geom: CacheGeometry) -> L1Cache {
+        let sets = geom.sets() as usize;
+        L1Cache {
+            sets: (0..sets).map(|_| Vec::with_capacity(geom.ways as usize)).collect(),
+            ways: geom.ways as usize,
+            set_mask: sets as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 & self.set_mask) as usize
+    }
+
+    /// Looks up `line`, updating LRU on hit.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<L1State> {
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|l| l.line == line) {
+            let entry = set.remove(pos);
+            set.push(entry);
+            Some(entry.state)
+        } else {
+            None
+        }
+    }
+
+    /// Peeks at a line's state without touching LRU.
+    #[cfg(test)]
+    pub fn peek(&self, line: LineAddr) -> Option<L1State> {
+        let set = &self.sets[self.set_of(line)];
+        set.iter().find(|l| l.line == line).map(|l| l.state)
+    }
+
+    /// Inserts (or updates) `line` with `state`, returning the victim if a
+    /// line had to be evicted.
+    pub fn insert(&mut self, line: LineAddr, state: L1State) -> Option<L1Victim> {
+        let set_idx = self.set_of(line);
+        let ways = self.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|l| l.line == line) {
+            let mut entry = set.remove(pos);
+            entry.state = state;
+            set.push(entry);
+            return None;
+        }
+        let victim = if set.len() == ways {
+            let v = set.remove(0);
+            Some(L1Victim { line: v.line, dirty: v.state == L1State::Modified })
+        } else {
+            None
+        };
+        set.push(L1Line { line, state });
+        victim
+    }
+
+    /// Removes `line` if present (back-invalidation from the L2), returning
+    /// whether it was dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|l| l.line == line) {
+            let entry = set.remove(pos);
+            Some(entry.state == L1State::Modified)
+        } else {
+            None
+        }
+    }
+
+    /// Downgrades a Modified copy to Shared (L2 lost exclusivity), returning
+    /// whether the line was dirty.
+    pub fn downgrade(&mut self, line: LineAddr) -> Option<bool> {
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(entry) = set.iter_mut().find(|l| l.line == line) {
+            let was_dirty = entry.state == L1State::Modified;
+            entry.state = L1State::Shared;
+            Some(was_dirty)
+        } else {
+            None
+        }
+    }
+
+    /// Number of resident lines (for tests).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the cache holds no lines.
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> L1Cache {
+        // 2 sets x 2 ways, 64B lines.
+        L1Cache::new(CacheGeometry { bytes: 256, ways: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny();
+        assert!(c.lookup(LineAddr(4)).is_none());
+        assert!(c.insert(LineAddr(4), L1State::Shared).is_none());
+        assert_eq!(c.lookup(LineAddr(4)), Some(L1State::Shared));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0.
+        c.insert(LineAddr(0), L1State::Shared);
+        c.insert(LineAddr(2), L1State::Shared);
+        c.lookup(LineAddr(0)); // make line 2 the LRU
+        let v = c.insert(LineAddr(4), L1State::Shared).expect("must evict");
+        assert_eq!(v.line, LineAddr(2));
+        assert!(!v.dirty);
+        assert!(c.peek(LineAddr(0)).is_some());
+        assert!(c.peek(LineAddr(2)).is_none());
+    }
+
+    #[test]
+    fn dirty_victim_reported() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), L1State::Modified);
+        c.insert(LineAddr(2), L1State::Shared);
+        let v = c.insert(LineAddr(4), L1State::Shared).expect("evict");
+        assert_eq!(v.line, LineAddr(0));
+        assert!(v.dirty);
+    }
+
+    #[test]
+    fn reinsert_updates_state_without_eviction() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), L1State::Shared);
+        assert!(c.insert(LineAddr(0), L1State::Modified).is_none());
+        assert_eq!(c.peek(LineAddr(0)), Some(L1State::Modified));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_downgrade() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), L1State::Modified);
+        assert_eq!(c.downgrade(LineAddr(0)), Some(true));
+        assert_eq!(c.peek(LineAddr(0)), Some(L1State::Shared));
+        assert_eq!(c.invalidate(LineAddr(0)), Some(false));
+        assert!(c.is_empty());
+        assert_eq!(c.invalidate(LineAddr(0)), None);
+        assert_eq!(c.downgrade(LineAddr(0)), None);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), L1State::Shared); // set 0
+        c.insert(LineAddr(1), L1State::Shared); // set 1
+        c.insert(LineAddr(2), L1State::Shared); // set 0
+        c.insert(LineAddr(3), L1State::Shared); // set 1
+        assert_eq!(c.len(), 4);
+        assert!(c.insert(LineAddr(4), L1State::Shared).is_some()); // evicts in set 0 only
+        assert!(c.peek(LineAddr(1)).is_some());
+        assert!(c.peek(LineAddr(3)).is_some());
+    }
+}

@@ -1,0 +1,328 @@
+use std::collections::{HashMap, VecDeque};
+
+use slipstream_kernel::config::CacheGeometry;
+use slipstream_kernel::{CpuId, LineAddr};
+
+use crate::classify::OpenReq;
+use crate::msg::Token;
+
+/// Coherence state of an L2 line as seen by the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum L2State {
+    /// Readable copy; other nodes may also hold it.
+    Shared,
+    /// This node is the exclusive owner (clean or dirty).
+    Exclusive,
+}
+
+/// One resident L2 line with all slipstream metadata.
+#[derive(Debug, Clone)]
+pub(crate) struct L2Line {
+    pub line: LineAddr,
+    pub state: L2State,
+    pub dirty: bool,
+    /// Filled by a transparent reply: visible to the A-stream only and not
+    /// registered in the directory's sharing list (§4.1).
+    pub transparent: bool,
+    /// Marked for self-invalidation at the next R-stream sync point (§4.2).
+    pub si_flag: bool,
+    /// A store to this line occurred inside a critical section (the SI
+    /// policy then invalidates rather than downgrades: migratory data).
+    pub wrote_in_cs: bool,
+    /// Which of the two L1s hold a copy (bit per core).
+    pub l1_mask: u8,
+    /// Which core's L1 holds it Modified, if any.
+    pub l1_dirty: Option<u8>,
+    /// Whether the line holds shared (coherent application) data — only
+    /// such lines participate in Figure 7 classification.
+    pub shared_data: bool,
+    /// Open read-request classification, if an unclosed read fill exists.
+    pub open_read: Option<OpenReq>,
+    /// Open exclusive-request classification.
+    pub open_excl: Option<OpenReq>,
+}
+
+impl L2Line {
+    pub(crate) fn new(line: LineAddr, state: L2State, shared_data: bool) -> L2Line {
+        L2Line {
+            line,
+            state,
+            dirty: false,
+            transparent: false,
+            si_flag: false,
+            wrote_in_cs: false,
+            l1_mask: 0,
+            l1_dirty: None,
+            shared_data,
+            open_read: None,
+            open_excl: None,
+        }
+    }
+}
+
+/// Requester blocked on an outstanding miss.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Waiter {
+    pub cpu: CpuId,
+    pub token: Token,
+}
+
+/// A miss-status holding register: one per line with outstanding requests.
+/// Merging of the two processors' requests ("The shared L2 cache ...
+/// merges their requests when appropriate", §2) happens here, and is also
+/// where `Late` classification outcomes are detected.
+#[derive(Debug)]
+pub(crate) struct Mshr {
+    /// A normal (coherent) read request is in flight.
+    pub norm_pending: bool,
+    /// An exclusive request (read-exclusive or upgrade) is in flight.
+    pub excl_pending: bool,
+    /// A transparent read request is in flight.
+    pub trans_pending: bool,
+    /// Waiters satisfied by any coherent fill.
+    pub waiters: Vec<Waiter>,
+    /// A-stream waiters, satisfied by a transparent or coherent fill.
+    pub a_waiters: Vec<Waiter>,
+    /// Store waiters: need exclusive ownership. On a shared fill these
+    /// trigger an upgrade transaction.
+    pub store_waiters: Vec<Waiter>,
+    /// Any queued store was inside a critical section.
+    pub store_in_cs: bool,
+    /// Classification for the in-flight read transaction.
+    pub open_read: Option<OpenReq>,
+    /// Classification for the in-flight exclusive transaction.
+    pub open_excl: Option<OpenReq>,
+    /// The exclusive request was a non-binding prefetch only (no waiter
+    /// needs ownership).
+    pub excl_is_prefetch: bool,
+}
+
+impl Mshr {
+    pub(crate) fn new() -> Mshr {
+        Mshr {
+            norm_pending: false,
+            excl_pending: false,
+            trans_pending: false,
+            waiters: Vec::new(),
+            a_waiters: Vec::new(),
+            store_waiters: Vec::new(),
+            store_in_cs: false,
+            open_read: None,
+            open_excl: None,
+            excl_is_prefetch: false,
+        }
+    }
+
+    /// Whether any request is still in flight.
+    pub(crate) fn pending(&self) -> bool {
+        self.norm_pending || self.excl_pending || self.trans_pending
+    }
+}
+
+/// A victim evicted to make room for a fill.
+#[derive(Debug)]
+pub(crate) struct L2Victim {
+    pub entry: L2Line,
+}
+
+/// The shared unified L2 cache of one CMP node.
+///
+/// Set-associative, true LRU (per-set ordering, most recent last). Lines
+/// with outstanding MSHRs are pinned and never chosen as victims.
+#[derive(Debug)]
+pub(crate) struct L2Cache {
+    sets: Vec<Vec<L2Line>>,
+    ways: usize,
+    set_mask: u64,
+    pub mshrs: HashMap<LineAddr, Mshr>,
+    /// Lines flagged for self-invalidation, processed at sync points.
+    pub si_queue: VecDeque<LineAddr>,
+    /// An SI drain is currently scheduled.
+    pub si_active: bool,
+    /// Fills that could not evict a victim because every way was pinned by
+    /// an MSHR (the set temporarily over-allocates).
+    pub set_overflows: u64,
+}
+
+impl L2Cache {
+    pub(crate) fn new(geom: CacheGeometry) -> L2Cache {
+        let sets = geom.sets() as usize;
+        L2Cache {
+            sets: (0..sets).map(|_| Vec::with_capacity(geom.ways as usize)).collect(),
+            ways: geom.ways as usize,
+            set_mask: sets as u64 - 1,
+            mshrs: HashMap::new(),
+            si_queue: VecDeque::new(),
+            si_active: false,
+            set_overflows: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 & self.set_mask) as usize
+    }
+
+    /// Looks up a line and promotes it to most-recently-used.
+    pub(crate) fn touch(&mut self, line: LineAddr) -> Option<&mut L2Line> {
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|l| l.line == line) {
+            let entry = set.remove(pos);
+            set.push(entry);
+            set.last_mut()
+        } else {
+            None
+        }
+    }
+
+    /// Looks up a line without touching LRU.
+    pub(crate) fn get_mut(&mut self, line: LineAddr) -> Option<&mut L2Line> {
+        let set_idx = self.set_of(line);
+        self.sets[set_idx].iter_mut().find(|l| l.line == line)
+    }
+
+    /// Looks up a line immutably.
+    pub(crate) fn get(&self, line: LineAddr) -> Option<&L2Line> {
+        let set = &self.sets[self.set_of(line)];
+        set.iter().find(|l| l.line == line)
+    }
+
+    /// Inserts a freshly filled line, evicting an unpinned LRU victim if the
+    /// set is full. If the line is already resident, the existing entry is
+    /// returned instead (fills update in place).
+    pub(crate) fn insert(&mut self, entry: L2Line) -> (Option<L2Victim>, &mut L2Line) {
+        let set_idx = self.set_of(entry.line);
+        let line = entry.line;
+        if let Some(pos) = self.sets[set_idx].iter().position(|l| l.line == line) {
+            // Replace in place (e.g. a coherent fill over a transparent line).
+            let _replaced = self.sets[set_idx].remove(pos);
+            self.sets[set_idx].push(entry);
+            let r = self.sets[set_idx].last_mut().expect("just pushed");
+            return (None, r);
+        }
+        let mut victim = None;
+        if self.sets[set_idx].len() >= self.ways {
+            // Evict the least-recently-used line not pinned by an MSHR.
+            let pin = |l: &L2Line| self.mshrs.contains_key(&l.line);
+            if let Some(pos) = self.sets[set_idx].iter().position(|l| !pin(l)) {
+                victim = Some(L2Victim { entry: self.sets[set_idx].remove(pos) });
+            } else {
+                self.set_overflows += 1;
+            }
+        }
+        self.sets[set_idx].push(entry);
+        let r = self.sets[set_idx].last_mut().expect("just pushed");
+        (victim, r)
+    }
+
+    /// Removes a line (invalidation), returning it.
+    pub(crate) fn remove(&mut self, line: LineAddr) -> Option<L2Line> {
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        set.iter().position(|l| l.line == line).map(|pos| set.remove(pos))
+    }
+
+    /// Flags a resident exclusive line for self-invalidation and queues it.
+    pub(crate) fn flag_si(&mut self, line: LineAddr) {
+        if let Some(l) = self.get_mut(line) {
+            if !l.si_flag {
+                l.si_flag = true;
+                self.si_queue.push_back(line);
+            }
+        }
+    }
+
+    /// Number of resident lines.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Iterates over all resident lines (for finalization).
+    pub(crate) fn drain_all(&mut self) -> Vec<L2Line> {
+        self.sets.iter_mut().flat_map(|s| s.drain(..)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> L2Cache {
+        // 2 sets x 2 ways.
+        L2Cache::new(CacheGeometry { bytes: 256, ways: 2, line_bytes: 64 })
+    }
+
+    #[test]
+    fn insert_touch_and_remove() {
+        let mut c = tiny();
+        let (v, _) = c.insert(L2Line::new(LineAddr(4), L2State::Shared, true));
+        assert!(v.is_none());
+        assert!(c.touch(LineAddr(4)).is_some());
+        assert!(c.get(LineAddr(4)).is_some());
+        let removed = c.remove(LineAddr(4)).expect("resident");
+        assert_eq!(removed.line, LineAddr(4));
+        assert!(c.get(LineAddr(4)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_skips_pinned_lines() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 map to set 0.
+        c.insert(L2Line::new(LineAddr(0), L2State::Shared, true));
+        c.insert(L2Line::new(LineAddr(2), L2State::Shared, true));
+        // Pin the LRU line 0 with an MSHR (e.g. an upgrade in flight).
+        c.mshrs.insert(LineAddr(0), Mshr::new());
+        let (v, _) = c.insert(L2Line::new(LineAddr(4), L2State::Shared, true));
+        assert_eq!(v.expect("evicts").entry.line, LineAddr(2));
+        assert!(c.get(LineAddr(0)).is_some());
+    }
+
+    #[test]
+    fn all_pinned_overflows_set() {
+        let mut c = tiny();
+        c.insert(L2Line::new(LineAddr(0), L2State::Shared, true));
+        c.insert(L2Line::new(LineAddr(2), L2State::Shared, true));
+        c.mshrs.insert(LineAddr(0), Mshr::new());
+        c.mshrs.insert(LineAddr(2), Mshr::new());
+        let (v, _) = c.insert(L2Line::new(LineAddr(4), L2State::Shared, true));
+        assert!(v.is_none());
+        assert_eq!(c.set_overflows, 1);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut c = tiny();
+        let mut first = L2Line::new(LineAddr(0), L2State::Shared, true);
+        first.transparent = true;
+        c.insert(first);
+        let (v, slot) = c.insert(L2Line::new(LineAddr(0), L2State::Exclusive, true));
+        assert!(v.is_none());
+        assert!(!slot.transparent);
+        assert_eq!(slot.state, L2State::Exclusive);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn si_flagging_dedupes() {
+        let mut c = tiny();
+        c.insert(L2Line::new(LineAddr(8), L2State::Exclusive, true));
+        c.flag_si(LineAddr(8));
+        c.flag_si(LineAddr(8));
+        assert_eq!(c.si_queue.len(), 1);
+        assert!(c.get(LineAddr(8)).expect("resident").si_flag);
+        // Flagging a non-resident line is a no-op.
+        c.flag_si(LineAddr(9));
+        assert_eq!(c.si_queue.len(), 1);
+    }
+
+    #[test]
+    fn mshr_pending_predicate() {
+        let mut m = Mshr::new();
+        assert!(!m.pending());
+        m.trans_pending = true;
+        assert!(m.pending());
+    }
+}

@@ -1,0 +1,231 @@
+use slipstream_kernel::{CpuId, LineAddr, NodeId, TaskId};
+use slipstream_prog::{BarrierId, EventId, LockId};
+
+/// Which stream a processor-side request originates from.
+///
+/// `Solo` is a conventional task (single/double/sequential mode); it behaves
+/// like an R-stream at the protocol level but is excluded from slipstream
+/// request classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamRole {
+    /// The unreduced, architecturally correct task.
+    R,
+    /// The reduced, speculative advanced stream.
+    A,
+    /// A conventional (non-slipstream) task.
+    Solo,
+}
+
+impl StreamRole {
+    /// Whether this role is the advanced stream.
+    #[inline]
+    pub fn is_a(self) -> bool {
+        matches!(self, StreamRole::A)
+    }
+}
+
+/// Kinds of processor-side memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A normal load.
+    Read,
+    /// A store (requires ownership).
+    Write,
+    /// A non-binding exclusive prefetch: the A-stream's conversion of a
+    /// skipped shared store (§3.3). Never blocks the issuing processor.
+    ExclPrefetch,
+    /// A transparent load (§4.1): may be satisfied by a possibly-stale
+    /// memory copy without disturbing the exclusive owner.
+    TransparentRead,
+}
+
+/// Opaque handle linking a blocking request to its eventual [`Completion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub u64);
+
+/// Synchronization operations, routed to the home node's sync controller
+/// through the same network/DC path as coherence traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOp {
+    /// Arrive at a barrier; completes when all participants have arrived.
+    BarrierArrive(BarrierId),
+    /// Request a lock; completes when granted.
+    LockAcquire(LockId),
+    /// Release a lock (fire-and-forget; no completion).
+    LockRelease(LockId),
+    /// Post an event (fire-and-forget; no completion).
+    EventPost(EventId),
+    /// Wait for an event post (semaphore semantics, per waiting task).
+    EventWait(EventId, TaskId),
+}
+
+impl SyncOp {
+    /// Whether the issuing processor blocks until a completion arrives.
+    pub fn blocks(self) -> bool {
+        matches!(
+            self,
+            SyncOp::BarrierArrive(_) | SyncOp::LockAcquire(_) | SyncOp::EventWait(..)
+        )
+    }
+}
+
+/// A completion delivered back to the machine loop: the blocked processor
+/// identified by `cpu`/`token` may resume at the completion's event time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The processor that issued the blocking request.
+    pub cpu: CpuId,
+    /// The token returned when the request was issued.
+    pub token: Token,
+}
+
+/// Internal discrete events of the memory system. The machine loop stores
+/// these in its global event queue and hands them back via
+/// [`crate::MemSystem::handle_event`].
+#[derive(Debug, Clone)]
+pub enum MemEvent {
+    /// A message has left the issuing L2 and reached its node's DC input
+    /// (after the L2-to-DC bus).
+    AtLocalDc(Msg),
+    /// A message is at the source node's network output port.
+    NetOut(Msg),
+    /// A message has arrived at the destination node's network input port.
+    NetIn(Msg),
+    /// A message has reached the destination DC and must be served there.
+    AtDestDc(Msg),
+    /// DC service complete: run the protocol/sync handler.
+    Handle(Msg),
+    /// Memory data is ready at the home node; send the prepared reply.
+    MemReady(Msg),
+    /// A reply/forwarded message has crossed the bus back into the L2: fill
+    /// the cache and wake waiters.
+    AtL2(Msg),
+    /// Process the next line in a node's self-invalidation queue.
+    SiStep(NodeId),
+    /// An L2-internal access (hit or grant) completes after the L2 latency.
+    L2Done { cpu: CpuId, token: Token },
+}
+
+/// A protocol or synchronization message.
+///
+/// `src` is the node the message is currently travelling *from*, `dst` the
+/// node it is travelling *to* (these are rewritten when a message is
+/// forwarded).
+#[derive(Debug, Clone)]
+pub struct Msg {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub kind: MsgKind,
+}
+
+/// Payloads of protocol and sync messages.
+#[derive(Debug, Clone)]
+pub enum MsgKind {
+    // ---- processor-side requests (L2 -> home directory) ----
+    /// Fetch a shared copy.
+    ReadReq { line: LineAddr, from: NodeId, role: StreamRole },
+    /// Fetch or upgrade to an exclusive copy. `had_shared` distinguishes an
+    /// upgrade (requester holds a shared copy) from a full fetch.
+    ReadExclReq { line: LineAddr, from: NodeId, role: StreamRole, had_shared: bool },
+    /// A transparent load request from an A-stream.
+    TransReadReq { line: LineAddr, from: NodeId },
+    /// Dirty eviction (or SI invalidation) writeback.
+    WritebackDirty { line: LineAddr, from: NodeId },
+    /// Clean eviction notification: clears sharer and future-sharer bits.
+    ReplHint { line: LineAddr, from: NodeId },
+    /// SI producer-consumer action: memory updated, owner downgrades to
+    /// shared but keeps its copy.
+    DowngradeWb { line: LineAddr, from: NodeId },
+
+    // ---- home directory -> caches ----
+    /// Data reply from memory. `excl` grants ownership; `si_hint` tells the
+    /// new owner to self-invalidate at its next sync point (§4.2).
+    DataReply { line: LineAddr, to: NodeId, excl: bool, si_hint: bool },
+    /// Transparent reply: a possibly-stale memory copy, A-visible only.
+    TransReply { line: LineAddr, to: NodeId },
+    /// Intervention: downgrade your exclusive copy, forward data to
+    /// `requester`, write back to home.
+    FwdRead { line: LineAddr, owner: NodeId, requester: NodeId },
+    /// Intervention: invalidate your exclusive copy, forward exclusive data
+    /// to `requester`, ack home.
+    FwdExcl { line: LineAddr, owner: NodeId, requester: NodeId },
+    /// Invalidate your shared copy and ack home.
+    Inv { line: LineAddr, to: NodeId },
+    /// Advise the exclusive owner that a future sharer exists (§4.2).
+    SiHint { line: LineAddr, owner: NodeId },
+
+    // ---- cache -> home / requester (transaction second halves) ----
+    /// Owner's data sent directly to the requester (reply forwarding).
+    FwdData { line: LineAddr, to: NodeId, excl: bool },
+    /// Owner downgraded and wrote back; home adds both as sharers.
+    WbShared { line: LineAddr, from: NodeId, requester: NodeId },
+    /// Owner invalidated after `FwdExcl`; home records the new owner.
+    TransferAck { line: LineAddr, from: NodeId, new_owner: NodeId },
+    /// A sharer has invalidated its copy.
+    InvAck { line: LineAddr, from: NodeId },
+    /// The targeted owner no longer has the line (eviction race); home must
+    /// complete the transaction from memory once the writeback lands.
+    FwdNack { line: LineAddr, from: NodeId },
+
+    // ---- synchronization ----
+    /// A sync operation travelling to its home sync controller.
+    SyncReq { op: SyncOp, cpu: CpuId, token: Token },
+    /// A grant/release travelling back to the blocked processor.
+    SyncGrant { cpu: CpuId, token: Token },
+}
+
+impl MsgKind {
+    /// The cache line this message concerns, if any.
+    pub fn line(&self) -> Option<LineAddr> {
+        use MsgKind::*;
+        match self {
+            ReadReq { line, .. }
+            | ReadExclReq { line, .. }
+            | TransReadReq { line, .. }
+            | WritebackDirty { line, .. }
+            | ReplHint { line, .. }
+            | DowngradeWb { line, .. }
+            | DataReply { line, .. }
+            | TransReply { line, .. }
+            | FwdRead { line, .. }
+            | FwdExcl { line, .. }
+            | Inv { line, .. }
+            | SiHint { line, .. }
+            | FwdData { line, .. }
+            | WbShared { line, .. }
+            | TransferAck { line, .. }
+            | InvAck { line, .. }
+            | FwdNack { line, .. } => Some(*line),
+            SyncReq { .. } | SyncGrant { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_op_blocking() {
+        assert!(SyncOp::BarrierArrive(BarrierId(0)).blocks());
+        assert!(SyncOp::LockAcquire(LockId(0)).blocks());
+        assert!(SyncOp::EventWait(EventId(0), TaskId(0)).blocks());
+        assert!(!SyncOp::LockRelease(LockId(0)).blocks());
+        assert!(!SyncOp::EventPost(EventId(0)).blocks());
+    }
+
+    #[test]
+    fn msg_line_extraction() {
+        let m = MsgKind::ReadReq { line: LineAddr(7), from: NodeId(0), role: StreamRole::R };
+        assert_eq!(m.line(), Some(LineAddr(7)));
+        let s = MsgKind::SyncGrant { cpu: CpuId::new(NodeId(0), 0), token: Token(1) };
+        assert_eq!(s.line(), None);
+    }
+
+    #[test]
+    fn role_predicates() {
+        assert!(StreamRole::A.is_a());
+        assert!(!StreamRole::R.is_a());
+        assert!(!StreamRole::Solo.is_a());
+    }
+}

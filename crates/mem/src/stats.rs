@@ -1,0 +1,100 @@
+use crate::classify::RequestClass;
+
+/// Aggregate memory-system statistics for one simulation run.
+///
+/// Combines hit/miss counters, network traffic, the Figure 7 request
+/// classification, the Figure 9 transparent-load breakdown, and
+/// self-invalidation activity.
+#[derive(Debug, Clone, Default)]
+pub struct MemStats {
+    /// L1 data-cache hits.
+    pub l1_hits: u64,
+    /// Accesses that hit in a valid, visible L2 line (after missing L1).
+    pub l2_hits: u64,
+    /// Accesses that missed the L2 and started (or merged into) a
+    /// directory transaction.
+    pub l2_misses: u64,
+    /// Misses merged into an already-outstanding request for the line.
+    pub merged_misses: u64,
+    /// Directory transactions whose home node was the requester's node.
+    pub local_txns: u64,
+    /// Directory transactions to a remote home.
+    pub remote_txns: u64,
+    /// Read transactions issued (coherent reads, by any stream).
+    pub read_txns: u64,
+    /// Exclusive transactions issued (read-exclusive and upgrades).
+    pub excl_txns: u64,
+    /// Exclusive transactions that were A-stream prefetch conversions.
+    pub excl_prefetches: u64,
+    /// Read transactions issued by A-streams (denominator of Figure 9).
+    pub a_read_txns: u64,
+    /// A-stream reads issued as transparent loads.
+    pub transparent_issued: u64,
+    /// Transparent loads answered with a transparent (possibly stale) reply.
+    pub transparent_replies: u64,
+    /// Transparent loads upgraded to normal loads at the directory.
+    pub upgraded_replies: u64,
+    /// Self-invalidation hints delivered to exclusive owners.
+    pub si_hints: u64,
+    /// Lines invalidated by self-invalidation (migratory policy).
+    pub si_invalidations: u64,
+    /// Lines written back and downgraded by self-invalidation
+    /// (producer-consumer policy).
+    pub si_downgrades: u64,
+    /// Dirty writebacks (evictions and SI).
+    pub writebacks: u64,
+    /// Invalidation messages sent by the directory.
+    pub invalidations_sent: u64,
+    /// 3-hop interventions (exclusive owner forwarded data).
+    pub interventions: u64,
+    /// Reads of detected-migratory lines granted exclusively
+    /// (`MachineConfig::migratory_opt` extension).
+    pub migratory_grants: u64,
+    /// Interventions that found the owner already evicted (races resolved
+    /// via the in-flight writeback).
+    pub intervention_nacks: u64,
+    /// Total network messages injected.
+    pub net_messages: u64,
+    /// Figure 7 classification of shared-data requests.
+    pub class: RequestClass,
+}
+
+impl MemStats {
+    /// Fraction of A-stream read transactions issued transparently
+    /// (Figure 9's y-axis), in percent.
+    pub fn transparent_pct(&self) -> f64 {
+        if self.a_read_txns == 0 {
+            0.0
+        } else {
+            100.0 * self.transparent_issued as f64 / self.a_read_txns as f64
+        }
+    }
+
+    /// Of the transparent loads, the percentage answered transparently.
+    pub fn transparent_reply_pct(&self) -> f64 {
+        let t = self.transparent_replies + self.upgraded_replies;
+        if t == 0 {
+            0.0
+        } else {
+            100.0 * self.transparent_replies as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_percentages() {
+        let mut s = MemStats::default();
+        assert_eq!(s.transparent_pct(), 0.0);
+        assert_eq!(s.transparent_reply_pct(), 0.0);
+        s.a_read_txns = 100;
+        s.transparent_issued = 27;
+        s.transparent_replies = 16;
+        s.upgraded_replies = 11;
+        assert!((s.transparent_pct() - 27.0).abs() < 1e-9);
+        assert!((s.transparent_reply_pct() - 16.0 / 27.0 * 100.0).abs() < 1e-9);
+    }
+}

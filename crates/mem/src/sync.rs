@@ -1,0 +1,255 @@
+use std::collections::{HashMap, VecDeque};
+
+use slipstream_kernel::{CpuId, TaskId};
+use slipstream_prog::{BarrierId, EventId, LockId};
+
+use crate::msg::{SyncOp, Token};
+
+/// Pure state machine for one node's synchronization controller.
+///
+/// Barriers, locks, and events live at a home node (chosen by hashing the
+/// object id); requests and grants travel through the same network and
+/// directory-controller servers as coherence traffic, so synchronization
+/// contends realistically. This type holds only the object state; routing
+/// and timing are the `system` module's job.
+#[derive(Debug)]
+pub(crate) struct SyncCtl {
+    participants: u32,
+    barriers: HashMap<BarrierId, BarrierState>,
+    locks: HashMap<LockId, LockState>,
+    events: HashMap<EventId, EventState>,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    arrived: u32,
+    waiters: Vec<(CpuId, Token)>,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    held: bool,
+    queue: VecDeque<(CpuId, Token)>,
+}
+
+#[derive(Debug, Default)]
+struct EventState {
+    posts: u64,
+    consumed: u64,
+    waiters: VecDeque<(CpuId, Token, TaskId)>,
+}
+
+/// Result of processing a sync request at the controller.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum SyncOutcome {
+    /// The requester is queued; nothing to send.
+    Queued,
+    /// These blocked processors are released (grants must be routed back).
+    Grant(Vec<(CpuId, Token)>),
+}
+
+impl SyncCtl {
+    /// Creates a controller for an application with `participants` tasks
+    /// taking part in every barrier.
+    pub(crate) fn new(participants: u32) -> SyncCtl {
+        assert!(participants > 0, "need at least one participant");
+        SyncCtl {
+            participants,
+            barriers: HashMap::new(),
+            locks: HashMap::new(),
+            events: HashMap::new(),
+        }
+    }
+
+    /// Processes one request. For blocking ops (`blocks() == true`) the
+    /// requester is granted either now or by some later request.
+    pub(crate) fn handle(&mut self, op: SyncOp, cpu: CpuId, token: Token) -> SyncOutcome {
+        match op {
+            SyncOp::BarrierArrive(id) => {
+                let b = self.barriers.entry(id).or_default();
+                b.arrived += 1;
+                b.waiters.push((cpu, token));
+                if b.arrived == self.participants {
+                    let grants = std::mem::take(&mut b.waiters);
+                    b.arrived = 0;
+                    SyncOutcome::Grant(grants)
+                } else {
+                    assert!(
+                        b.arrived < self.participants,
+                        "barrier {id:?} overflow: more arrivals than participants"
+                    );
+                    SyncOutcome::Queued
+                }
+            }
+            SyncOp::LockAcquire(id) => {
+                let l = self.locks.entry(id).or_default();
+                if l.held {
+                    l.queue.push_back((cpu, token));
+                    SyncOutcome::Queued
+                } else {
+                    l.held = true;
+                    SyncOutcome::Grant(vec![(cpu, token)])
+                }
+            }
+            SyncOp::LockRelease(id) => {
+                let l = self.locks.entry(id).or_default();
+                assert!(l.held, "release of un-held lock {id:?}");
+                if let Some(next) = l.queue.pop_front() {
+                    SyncOutcome::Grant(vec![(next.0, next.1)])
+                } else {
+                    l.held = false;
+                    SyncOutcome::Grant(Vec::new())
+                }
+            }
+            SyncOp::EventPost(id) => {
+                let e = self.events.entry(id).or_default();
+                e.posts += 1;
+                let mut grants = Vec::new();
+                while e.posts > e.consumed {
+                    match e.waiters.pop_front() {
+                        Some((c, t, _task)) => {
+                            e.consumed += 1;
+                            grants.push((c, t));
+                        }
+                        None => break,
+                    }
+                }
+                SyncOutcome::Grant(grants)
+            }
+            SyncOp::EventWait(id, task) => {
+                let e = self.events.entry(id).or_default();
+                if e.posts > e.consumed {
+                    e.consumed += 1;
+                    SyncOutcome::Grant(vec![(cpu, token)])
+                } else {
+                    e.waiters.push_back((cpu, token, task));
+                    SyncOutcome::Queued
+                }
+            }
+        }
+    }
+
+    /// Whether every barrier is empty, every lock free, and no waiter is
+    /// queued — asserted at the end of a simulation.
+    pub(crate) fn quiescent(&self) -> bool {
+        self.barriers.values().all(|b| b.arrived == 0 && b.waiters.is_empty())
+            && self.locks.values().all(|l| !l.held && l.queue.is_empty())
+            && self.events.values().all(|e| e.waiters.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slipstream_kernel::NodeId;
+
+    fn cpu(n: u16, c: u8) -> CpuId {
+        CpuId::new(NodeId(n), c)
+    }
+
+    #[test]
+    fn barrier_releases_all_on_last_arrival() {
+        let mut s = SyncCtl::new(3);
+        let b = SyncOp::BarrierArrive(BarrierId(0));
+        assert_eq!(s.handle(b, cpu(0, 0), Token(1)), SyncOutcome::Queued);
+        assert_eq!(s.handle(b, cpu(1, 0), Token(2)), SyncOutcome::Queued);
+        match s.handle(b, cpu(2, 0), Token(3)) {
+            SyncOutcome::Grant(g) => assert_eq!(g.len(), 3),
+            other => panic!("expected grant, got {other:?}"),
+        }
+        assert!(s.quiescent());
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_generations() {
+        let mut s = SyncCtl::new(2);
+        let b = SyncOp::BarrierArrive(BarrierId(7));
+        for gen in 0..3 {
+            assert_eq!(s.handle(b, cpu(0, 0), Token(gen * 2)), SyncOutcome::Queued);
+            match s.handle(b, cpu(1, 0), Token(gen * 2 + 1)) {
+                SyncOutcome::Grant(g) => assert_eq!(g.len(), 2),
+                other => panic!("expected grant, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lock_grants_immediately_then_queues_fifo() {
+        let mut s = SyncCtl::new(2);
+        let a = SyncOp::LockAcquire(LockId(0));
+        let r = SyncOp::LockRelease(LockId(0));
+        match s.handle(a, cpu(0, 0), Token(1)) {
+            SyncOutcome::Grant(g) => assert_eq!(g, vec![(cpu(0, 0), Token(1))]),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.handle(a, cpu(1, 0), Token(2)), SyncOutcome::Queued);
+        assert_eq!(s.handle(a, cpu(1, 1), Token(3)), SyncOutcome::Queued);
+        match s.handle(r, cpu(0, 0), Token(4)) {
+            SyncOutcome::Grant(g) => assert_eq!(g, vec![(cpu(1, 0), Token(2))]),
+            other => panic!("{other:?}"),
+        }
+        match s.handle(r, cpu(1, 0), Token(5)) {
+            SyncOutcome::Grant(g) => assert_eq!(g, vec![(cpu(1, 1), Token(3))]),
+            other => panic!("{other:?}"),
+        }
+        match s.handle(r, cpu(1, 1), Token(6)) {
+            SyncOutcome::Grant(g) => assert!(g.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        assert!(s.quiescent());
+    }
+
+    #[test]
+    #[should_panic(expected = "un-held")]
+    fn double_release_panics() {
+        let mut s = SyncCtl::new(1);
+        s.handle(SyncOp::LockRelease(LockId(0)), cpu(0, 0), Token(0));
+    }
+
+    #[test]
+    fn event_semaphore_semantics() {
+        let mut s = SyncCtl::new(2);
+        let post = SyncOp::EventPost(EventId(0));
+        let wait = SyncOp::EventWait(EventId(0), TaskId(1));
+        // Post before wait: wait is satisfied immediately.
+        match s.handle(post, cpu(0, 0), Token(0)) {
+            SyncOutcome::Grant(g) => assert!(g.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        match s.handle(wait, cpu(1, 0), Token(1)) {
+            SyncOutcome::Grant(g) => assert_eq!(g.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        // Wait before post: granted by the post.
+        assert_eq!(s.handle(wait, cpu(1, 0), Token(2)), SyncOutcome::Queued);
+        match s.handle(post, cpu(0, 0), Token(3)) {
+            SyncOutcome::Grant(g) => assert_eq!(g, vec![(cpu(1, 0), Token(2))]),
+            other => panic!("{other:?}"),
+        }
+        assert!(s.quiescent());
+    }
+
+    #[test]
+    fn one_post_wakes_one_waiter() {
+        let mut s = SyncCtl::new(3);
+        let wait = SyncOp::EventWait(EventId(0), TaskId(0));
+        s.handle(wait, cpu(0, 0), Token(1));
+        s.handle(wait, cpu(1, 0), Token(2));
+        match s.handle(SyncOp::EventPost(EventId(0)), cpu(2, 0), Token(3)) {
+            SyncOutcome::Grant(g) => assert_eq!(g, vec![(cpu(0, 0), Token(1))]),
+            other => panic!("{other:?}"),
+        }
+        assert!(!s.quiescent()); // one waiter still queued
+    }
+
+    #[test]
+    fn single_participant_barrier_always_grants() {
+        let mut s = SyncCtl::new(1);
+        for i in 0..4 {
+            match s.handle(SyncOp::BarrierArrive(BarrierId(0)), cpu(0, 0), Token(i)) {
+                SyncOutcome::Grant(g) => assert_eq!(g.len(), 1),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::ops::Op;
+use crate::stmt::{IdxCtx, Program, Stmt};
+
+/// Lazy interpreter over a [`Program`]'s statement tree.
+///
+/// Holds an explicit frame stack (no recursion), so arbitrarily deep loop
+/// nests and very long programs iterate in constant memory. Implements
+/// [`Iterator`] with `Item = Op`.
+///
+/// # Example
+///
+/// ```
+/// use slipstream_prog::{ProgBuilder, Op};
+///
+/// let mut b = ProgBuilder::new();
+/// b.for_n(3, |b| {
+///     b.compute(10);
+/// });
+/// let prog = b.build("p");
+/// assert_eq!(prog.iter().count(), 3);
+/// // A second iterator restarts from the beginning (A-stream refork).
+/// assert_eq!(prog.iter().next(), Some(Op::Compute(10)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramIter {
+    prog: Program,
+    frames: Vec<Frame>,
+    /// Loop indices, outermost first.
+    idx: Vec<u64>,
+    pending: VecDeque<Op>,
+    scratch: Vec<Op>,
+}
+
+#[derive(Debug, Clone)]
+enum Frame {
+    Seq { stmts: Rc<[Stmt]>, pos: usize },
+    For { body: Rc<Stmt>, n: u64, i: u64 },
+}
+
+impl ProgramIter {
+    /// Starts interpretation of `prog` from the beginning.
+    pub fn new(prog: Program) -> ProgramIter {
+        let root = prog.root().clone();
+        let mut it = ProgramIter {
+            prog,
+            frames: Vec::with_capacity(16),
+            idx: Vec::with_capacity(8),
+            pending: VecDeque::with_capacity(32),
+            scratch: Vec::with_capacity(32),
+        };
+        it.enter(&root);
+        it
+    }
+
+    /// The program being interpreted.
+    pub fn program(&self) -> &Program {
+        &self.prog
+    }
+
+    /// Discards all progress and restarts from the program entry point
+    /// (used when a deviated A-stream is killed and reforked).
+    pub fn restart(&mut self) {
+        self.frames.clear();
+        self.idx.clear();
+        self.pending.clear();
+        let root = self.prog.root().clone();
+        self.enter(&root);
+    }
+
+    fn enter(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Op(op) => self.pending.push_back(*op),
+            Stmt::Gen(f) => {
+                let op = f(&IdxCtx::new(&self.idx));
+                self.pending.push_back(op);
+            }
+            Stmt::Block(f) => {
+                self.scratch.clear();
+                f(&IdxCtx::new(&self.idx), &mut self.scratch);
+                self.pending.extend(self.scratch.drain(..));
+            }
+            Stmt::Seq(stmts) => {
+                self.frames.push(Frame::Seq { stmts: stmts.clone(), pos: 0 });
+            }
+            Stmt::For { count, body } => {
+                let n = count.eval(&IdxCtx::new(&self.idx));
+                self.idx.push(0);
+                self.frames.push(Frame::For { body: body.clone(), n, i: 0 });
+            }
+            Stmt::If { cond, then_s, else_s } => {
+                if cond(&IdxCtx::new(&self.idx)) {
+                    let s = then_s.clone();
+                    self.enter(&s);
+                } else if let Some(e) = else_s {
+                    let s = e.clone();
+                    self.enter(&s);
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for ProgramIter {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        loop {
+            if let Some(op) = self.pending.pop_front() {
+                return Some(op);
+            }
+            let action = match self.frames.last_mut() {
+                None => return None,
+                Some(Frame::Seq { stmts, pos }) => {
+                    if *pos < stmts.len() {
+                        let s = stmts[*pos].clone();
+                        *pos += 1;
+                        Action::Enter(s)
+                    } else {
+                        Action::PopSeq
+                    }
+                }
+                Some(Frame::For { body, n, i }) => {
+                    if *i < *n {
+                        let k = *i;
+                        *i += 1;
+                        let b = body.clone();
+                        Action::Iterate(b, k)
+                    } else {
+                        Action::PopFor
+                    }
+                }
+            };
+            match action {
+                Action::Enter(s) => self.enter(&s),
+                Action::Iterate(b, k) => {
+                    *self.idx.last_mut().expect("For frame always has an index slot") = k;
+                    self.enter(&b);
+                }
+                Action::PopSeq => {
+                    self.frames.pop();
+                }
+                Action::PopFor => {
+                    self.frames.pop();
+                    self.idx.pop();
+                }
+            }
+        }
+    }
+}
+
+enum Action {
+    Enter(Stmt),
+    Iterate(Rc<Stmt>, u64),
+    PopSeq,
+    PopFor,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgBuilder;
+    use crate::ops::{BarrierId, Op};
+    use slipstream_kernel::Addr;
+
+    #[test]
+    fn nested_loops_generate_row_major_order() {
+        let mut b = ProgBuilder::new();
+        b.for_n(2, |b| {
+            b.for_n(3, |b| {
+                b.gen(|ctx| Op::load_shared(Addr(ctx.i(1) * 100 + ctx.i(0))));
+            });
+        });
+        let addrs: Vec<u64> = b
+            .build("nest")
+            .iter()
+            .map(|op| match op {
+                Op::Load { addr, .. } => addr.0,
+                _ => panic!("unexpected op"),
+            })
+            .collect();
+        assert_eq!(addrs, [0, 1, 2, 100, 101, 102]);
+    }
+
+    #[test]
+    fn zero_trip_loop_is_empty() {
+        let mut b = ProgBuilder::new();
+        b.for_n(0, |b| { b.compute(1); });
+        b.compute(9);
+        let ops: Vec<_> = b.build("z").iter().collect();
+        assert_eq!(ops, [Op::Compute(9)]);
+    }
+
+    #[test]
+    fn dynamic_count_uses_outer_index() {
+        // Triangular loop: for i in 0..4 { for j in 0..i { op } }
+        let mut b = ProgBuilder::new();
+        b.for_n(4, |b| {
+            b.for_dyn(
+                |ctx| ctx.i(0),
+                |b| { b.compute(1); },
+            );
+        });
+        assert_eq!(b.build("tri").iter().count(), 6); // 0+1+2+3 triangular
+    }
+
+    #[test]
+    fn if_selects_branch_by_index() {
+        let mut b = ProgBuilder::new();
+        b.for_n(4, |b| {
+            b.if_(
+                |ctx| ctx.i(0) % 2 == 0,
+                |b| { b.compute(1); },
+                Some(|b: &mut ProgBuilder| { b.compute(2); }),
+            );
+        });
+        let ops: Vec<_> = b.build("if").iter().collect();
+        assert_eq!(ops, [Op::Compute(1), Op::Compute(2), Op::Compute(1), Op::Compute(2)]);
+    }
+
+    #[test]
+    fn if_without_else_skips() {
+        let mut b = ProgBuilder::new();
+        b.for_n(3, |b| {
+            b.if_(|ctx| ctx.i(0) == 1, |b| { b.compute(7); }, None::<fn(&mut ProgBuilder)>);
+        });
+        let ops: Vec<_> = b.build("ifn").iter().collect();
+        assert_eq!(ops, [Op::Compute(7)]);
+    }
+
+    #[test]
+    fn block_emits_batches() {
+        let mut b = ProgBuilder::new();
+        b.for_n(2, |b| {
+            b.block(|ctx, out| {
+                for j in 0..3 {
+                    out.push(Op::load_shared(Addr(ctx.i(0) * 10 + j)));
+                }
+            });
+        });
+        assert_eq!(b.build("blk").iter().count(), 6);
+    }
+
+    #[test]
+    fn restart_replays_identically() {
+        let mut b = ProgBuilder::new();
+        b.for_n(5, |b| {
+            b.gen(|ctx| Op::load_shared(Addr(ctx.i(0))));
+            b.barrier(BarrierId(0));
+        });
+        let prog = b.build("r");
+        let mut it = prog.iter();
+        let first: Vec<_> = (&mut it).take(4).collect();
+        it.restart();
+        let replay: Vec<_> = it.take(4).collect();
+        assert_eq!(first, replay);
+    }
+
+    #[test]
+    fn iterator_is_fused_after_end() {
+        let mut b = ProgBuilder::new();
+        b.compute(1);
+        let prog = b.build("f");
+        let mut it = prog.iter();
+        assert!(it.next().is_some());
+        assert!(it.next().is_none());
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn deep_nesting_constant_stack() {
+        let mut b = ProgBuilder::new();
+        fn nest(b: &mut ProgBuilder, d: u32) {
+            if d == 0 {
+                b.compute(1);
+            } else {
+                b.for_n(1, |b| nest(b, d - 1));
+            }
+        }
+        nest(&mut b, 100);
+        assert_eq!(b.build("deep").iter().count(), 1);
+    }
+}

@@ -1,0 +1,181 @@
+use std::fmt;
+
+use slipstream_kernel::Addr;
+
+/// Identifies a barrier object. All tasks of the application participate in
+/// every barrier; the same id may be reused (the sync controller counts
+/// generations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BarrierId(pub u32);
+
+/// Identifies a lock object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LockId(pub u32);
+
+/// Identifies an event (pairwise flag) object with semaphore semantics:
+/// each `EventWait` by a task consumes one `EventPost`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EventId(pub u32);
+
+/// Whether a memory access touches globally shared data or task-private
+/// data.
+///
+/// Private data is never accessed by another task (the A-stream copy of a
+/// task gets its *own* private allocation, as in the paper: "each task has
+/// its own private data, but shared data are not replicated").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// Globally shared data, subject to coherence.
+    Shared,
+    /// Task-private data, homed at the owning task's node.
+    Private,
+}
+
+/// One dynamic operation of a task program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Execute for `n` cycles without touching memory (models ALU work and
+    /// private accesses that hit in registers/L1).
+    Compute(u32),
+    /// Load from `addr`.
+    Load { addr: Addr, space: Space },
+    /// Store to `addr`.
+    ///
+    /// In slipstream mode, shared stores are squashed in the A-stream and
+    /// possibly converted to exclusive prefetches (§3.3 of the paper).
+    Store { addr: Addr, space: Space },
+    /// Global barrier. A session boundary for A-R synchronization.
+    Barrier(BarrierId),
+    /// Acquire a lock (enter a critical section).
+    Lock(LockId),
+    /// Release a lock (leave a critical section).
+    Unlock(LockId),
+    /// Post (signal) an event.
+    EventPost(EventId),
+    /// Wait for an event post. A session boundary for A-R synchronization.
+    EventWait(EventId),
+    /// A global operation with a visible side effect (system call, I/O,
+    /// shared allocation). Performed once, by the R-stream; the A-stream
+    /// waits for the R-stream's result (§3.2).
+    Input,
+    /// Marks a point where the A-stream takes a wrong control path for `n`
+    /// extra compute cycles (models user-level synchronization the reduced
+    /// stream cannot honor). No-op for R-streams and conventional tasks;
+    /// used to exercise deviation detection and recovery.
+    DivergeInA(u32),
+}
+
+impl Op {
+    /// Convenience constructor for a shared load.
+    #[inline]
+    pub fn load_shared(addr: Addr) -> Op {
+        Op::Load { addr, space: Space::Shared }
+    }
+
+    /// Convenience constructor for a shared store.
+    #[inline]
+    pub fn store_shared(addr: Addr) -> Op {
+        Op::Store { addr, space: Space::Shared }
+    }
+
+    /// Convenience constructor for a private load.
+    #[inline]
+    pub fn load_private(addr: Addr) -> Op {
+        Op::Load { addr, space: Space::Private }
+    }
+
+    /// Convenience constructor for a private store.
+    #[inline]
+    pub fn store_private(addr: Addr) -> Op {
+        Op::Store { addr, space: Space::Private }
+    }
+
+    /// Whether this op is a memory access (load or store).
+    #[inline]
+    pub fn is_access(&self) -> bool {
+        matches!(self, Op::Load { .. } | Op::Store { .. })
+    }
+
+    /// Whether this op is a synchronization operation.
+    #[inline]
+    pub fn is_sync(&self) -> bool {
+        matches!(
+            self,
+            Op::Barrier(_)
+                | Op::Lock(_)
+                | Op::Unlock(_)
+                | Op::EventPost(_)
+                | Op::EventWait(_)
+        )
+    }
+
+    /// Whether this op ends an A-R session (barrier or event-wait, §3.2).
+    #[inline]
+    pub fn ends_session(&self) -> bool {
+        matches!(self, Op::Barrier(_) | Op::EventWait(_))
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Compute(n) => write!(f, "compute({n})"),
+            Op::Load { addr, space: Space::Shared } => write!(f, "ld.sh {addr}"),
+            Op::Load { addr, space: Space::Private } => write!(f, "ld.pr {addr}"),
+            Op::Store { addr, space: Space::Shared } => write!(f, "st.sh {addr}"),
+            Op::Store { addr, space: Space::Private } => write!(f, "st.pr {addr}"),
+            Op::Barrier(b) => write!(f, "barrier#{}", b.0),
+            Op::Lock(l) => write!(f, "lock#{}", l.0),
+            Op::Unlock(l) => write!(f, "unlock#{}", l.0),
+            Op::EventPost(e) => write!(f, "post#{}", e.0),
+            Op::EventWait(e) => write!(f, "wait#{}", e.0),
+            Op::Input => write!(f, "input"),
+            Op::DivergeInA(n) => write!(f, "diverge({n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_predicates() {
+        let ld = Op::load_shared(Addr(0));
+        assert!(ld.is_access() && !ld.is_sync() && !ld.ends_session());
+        let bar = Op::Barrier(BarrierId(1));
+        assert!(!bar.is_access() && bar.is_sync() && bar.ends_session());
+        let ew = Op::EventWait(EventId(1));
+        assert!(ew.ends_session());
+        let ep = Op::EventPost(EventId(1));
+        assert!(ep.is_sync() && !ep.ends_session());
+        let lk = Op::Lock(LockId(0));
+        assert!(lk.is_sync() && !lk.ends_session());
+        assert!(!Op::Compute(3).is_access());
+        assert!(!Op::Input.is_sync());
+    }
+
+    #[test]
+    fn constructors_set_space() {
+        assert_eq!(Op::load_private(Addr(8)), Op::Load { addr: Addr(8), space: Space::Private });
+        assert_eq!(Op::store_shared(Addr(8)), Op::Store { addr: Addr(8), space: Space::Shared });
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for op in [
+            Op::Compute(1),
+            Op::load_shared(Addr(0)),
+            Op::store_private(Addr(0)),
+            Op::Barrier(BarrierId(0)),
+            Op::Lock(LockId(0)),
+            Op::Unlock(LockId(0)),
+            Op::EventPost(EventId(0)),
+            Op::EventWait(EventId(0)),
+            Op::Input,
+            Op::DivergeInA(5),
+        ] {
+            assert!(!op.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,179 @@
+use std::fmt;
+use std::rc::Rc;
+
+use crate::iter::ProgramIter;
+use crate::ops::Op;
+
+/// Loop-index context passed to generator closures.
+///
+/// Indices are exposed innermost-first: `ctx.i(0)` is the index of the
+/// nearest enclosing loop, `ctx.i(1)` the next one out, and so on.
+#[derive(Debug)]
+pub struct IdxCtx<'a> {
+    idx: &'a [u64],
+}
+
+impl<'a> IdxCtx<'a> {
+    pub(crate) fn new(idx: &'a [u64]) -> IdxCtx<'a> {
+        IdxCtx { idx }
+    }
+
+    /// Index of the `d`-th enclosing loop (0 = innermost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is not within the current loop nest depth.
+    #[inline]
+    pub fn i(&self, d: usize) -> u64 {
+        let n = self.idx.len();
+        assert!(d < n, "loop depth {d} out of range (nest depth {n})");
+        self.idx[n - 1 - d]
+    }
+
+    /// Current loop nest depth.
+    pub fn depth(&self) -> usize {
+        self.idx.len()
+    }
+}
+
+/// Closure yielding a single op from the current loop indices.
+pub type GenFn = Rc<dyn Fn(&IdxCtx) -> Op>;
+/// Closure emitting a batch of ops (used for hot inner loops where
+/// per-op interpretation overhead matters).
+pub type BlockFn = Rc<dyn Fn(&IdxCtx, &mut Vec<Op>)>;
+/// Closure computing a loop trip count from enclosing indices.
+pub type CountFn = Rc<dyn Fn(&IdxCtx) -> u64>;
+/// Closure evaluating a condition from the current loop indices.
+pub type CondFn = Rc<dyn Fn(&IdxCtx) -> bool>;
+
+/// One node of a program's statement tree.
+///
+/// Cheap to clone (`Rc` everywhere) so a program can be re-instantiated —
+/// e.g. when the R-stream kills and reforks a deviated A-stream.
+#[derive(Clone)]
+pub enum Stmt {
+    /// A constant operation.
+    Op(Op),
+    /// An operation computed from the loop indices.
+    Gen(GenFn),
+    /// A batch of operations computed from the loop indices.
+    Block(BlockFn),
+    /// Sequential composition.
+    Seq(Rc<[Stmt]>),
+    /// Counted loop; the trip count may depend on enclosing indices.
+    For { count: Count, body: Rc<Stmt> },
+    /// Conditional on loop indices.
+    If { cond: CondFn, then_s: Rc<Stmt>, else_s: Option<Rc<Stmt>> },
+}
+
+/// A loop trip count: constant or computed from enclosing loop indices.
+#[derive(Clone)]
+pub enum Count {
+    /// Fixed trip count.
+    Const(u64),
+    /// Trip count computed from enclosing indices.
+    Dyn(CountFn),
+}
+
+impl Count {
+    pub(crate) fn eval(&self, ctx: &IdxCtx) -> u64 {
+        match self {
+            Count::Const(n) => *n,
+            Count::Dyn(f) => f(ctx),
+        }
+    }
+}
+
+impl fmt::Debug for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Op(op) => write!(f, "Op({op})"),
+            Stmt::Gen(_) => write!(f, "Gen(..)"),
+            Stmt::Block(_) => write!(f, "Block(..)"),
+            Stmt::Seq(v) => f.debug_list().entries(v.iter()).finish(),
+            Stmt::For { count, body } => {
+                let c = match count {
+                    Count::Const(n) => format!("{n}"),
+                    Count::Dyn(_) => "dyn".to_string(),
+                };
+                write!(f, "For[{c}] {body:?}")
+            }
+            Stmt::If { else_s, .. } => {
+                write!(f, "If(..) then .. {}", if else_s.is_some() { "else .." } else { "" })
+            }
+        }
+    }
+}
+
+/// A complete task program: a named statement tree.
+///
+/// `Program` is an immutable description; execution state lives in
+/// [`ProgramIter`], so a program can be iterated many times (each A-stream
+/// refork starts a fresh iterator).
+#[derive(Debug, Clone)]
+pub struct Program {
+    name: Rc<str>,
+    root: Rc<Stmt>,
+}
+
+impl Program {
+    /// Creates a program from a statement tree.
+    pub fn new(name: &str, root: Stmt) -> Program {
+        Program { name: name.into(), root: Rc::new(root) }
+    }
+
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The root statement.
+    pub fn root(&self) -> &Rc<Stmt> {
+        &self.root
+    }
+
+    /// Starts lazy interpretation from the beginning.
+    pub fn iter(&self) -> ProgramIter {
+        ProgramIter::new(self.clone())
+    }
+
+    /// Total number of dynamic ops (walks the whole program; test/debug use).
+    pub fn count_ops(&self) -> u64 {
+        self.iter().count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_ctx_innermost_first() {
+        let idx = [2u64, 5, 9]; // outermost..innermost
+        let ctx = IdxCtx::new(&idx);
+        assert_eq!(ctx.i(0), 9);
+        assert_eq!(ctx.i(1), 5);
+        assert_eq!(ctx.i(2), 2);
+        assert_eq!(ctx.depth(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn idx_ctx_depth_overflow_panics() {
+        let idx = [1u64];
+        IdxCtx::new(&idx).i(1);
+    }
+
+    #[test]
+    fn debug_formats() {
+        let s = Stmt::Seq(
+            vec![
+                Stmt::Op(Op::Compute(1)),
+                Stmt::For { count: Count::Const(3), body: Rc::new(Stmt::Op(Op::Compute(2))) },
+            ]
+            .into(),
+        );
+        let d = format!("{s:?}");
+        assert!(d.contains("For[3]"));
+    }
+}

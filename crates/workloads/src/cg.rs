@@ -1,0 +1,231 @@
+//! NAS Conjugate Gradient (shared-memory version), n = 1400 in the paper.
+//!
+//! Each CG iteration performs a sparse matrix-vector product (reading
+//! pseudo-random columns of the shared direction vector `p`), two global
+//! dot-product reductions (lock + barrier), and vector updates on owned
+//! segments, ending with the `p` update that invalidates every consumer's
+//! cached copy. The fine-grained broadcast sharing of `p` plus four
+//! barriers and two reductions per iteration make CG sync/latency bound at
+//! 16 CMPs (Figure 4), where the paper shows slipstream + SI gaining ~14%.
+
+use slipstream_core::{TaskBuilderFn, Workload};
+use slipstream_kernel::SplitMix64;
+use slipstream_prog::{ArrayRef, BarrierId, Layout, LockId, Op, ProgBuilder};
+
+use crate::util::{block_range, load_line, store_line, touch_shared};
+
+/// The conjugate-gradient kernel.
+#[derive(Debug, Clone)]
+pub struct Cg {
+    /// Problem order (vector length).
+    pub na: u64,
+    /// Nonzeros per matrix row.
+    pub nnz_per_row: u64,
+    /// CG iterations.
+    pub iters: u64,
+    /// Compute cycles per nonzero (multiply-add + index).
+    pub cycles_per_nnz: u32,
+    /// RNG seed for the sparsity pattern.
+    pub seed: u64,
+}
+
+impl Cg {
+    /// Paper configuration: n = 1400.
+    pub fn paper() -> Cg {
+        Cg { na: 1400, nnz_per_row: 24, iters: 12, cycles_per_nnz: 10, seed: 0xC6 }
+    }
+
+    /// Reduced size for tests and smoke runs.
+    pub fn quick() -> Cg {
+        Cg { na: 400, nnz_per_row: 12, iters: 6, cycles_per_nnz: 10, seed: 0xC6 }
+    }
+}
+
+impl Workload for Cg {
+    fn name(&self) -> &str {
+        "CG"
+    }
+
+    fn instantiate(&self, ntasks: usize, layout: &mut Layout) -> TaskBuilderFn {
+        let na = self.na;
+        let nnz = self.nnz_per_row;
+        // Owned segments of the vectors (first-touch); p is the one every
+        // task reads from everywhere.
+        let seg_alloc = |layout: &mut Layout, name: &str| -> Vec<ArrayRef> {
+            (0..ntasks)
+                .map(|t| {
+                    let (r0, r1) = block_range(na, ntasks, t);
+                    layout.shared_owned(&format!("cg.{name}{t}"), (r1 - r0).max(1) * 8, t)
+                })
+                .collect()
+        };
+        let p = seg_alloc(layout, "p");
+        let q = seg_alloc(layout, "q");
+        let r = seg_alloc(layout, "r");
+        // Sparse matrix values+indices, owned by row block (read-only).
+        let a: Vec<ArrayRef> = (0..ntasks)
+            .map(|t| {
+                let (r0, r1) = block_range(na, ntasks, t);
+                layout.shared_owned(&format!("cg.a{t}"), (r1 - r0).max(1) * nnz * 12, t)
+            })
+            .collect();
+        // One line of global scalars for the reductions.
+        let scalars = layout.shared("cg.scalars", 64);
+        let iters = self.iters;
+        let cpn = self.cycles_per_nnz;
+        let seed = self.seed;
+        Box::new(move |_layout, _inst, task| {
+            let (my0, my1) = block_range(na, ntasks, task);
+            let p = p.clone();
+            let q = q.clone();
+            let r = r.clone();
+            let a = a.clone();
+            let elem_of = move |segs: &[ArrayRef], i: u64| -> (ArrayRef, u64) {
+                let mut t = 0;
+                loop {
+                    let (s, e) = block_range(na, ntasks, t);
+                    if i >= s && i < e {
+                        return (segs[t], (i - s) * 8);
+                    }
+                    t += 1;
+                }
+            };
+            let mut b = ProgBuilder::new();
+            b.for_n(iters, move |b| {
+                // q = A * p over my rows: read my matrix rows (streaming,
+                // owned) and gather pseudo-random elements of p.
+                let p_mv = p.clone();
+                let q_mv = q.clone();
+                let a_mv = a.clone();
+                b.block(move |_ctx, out| {
+                    for row in my0..my1 {
+                        // Matrix row: values + column indices, contiguous.
+                        let (areg, aoff) = {
+                            let mut t = 0;
+                            loop {
+                                let (s, e) = block_range(na, ntasks, t);
+                                if row >= s && row < e {
+                                    break (a_mv[t], (row - s) * nnz * 12);
+                                }
+                                t += 1;
+                            }
+                        };
+                        touch_shared(out, areg, aoff, nnz * 12, false, 0);
+                        // Gather from p at the row's pattern (deterministic
+                        // per row, so A- and R-stream agree).
+                        let mut rng = SplitMix64::new(seed ^ row.wrapping_mul(0x9E37));
+                        for _ in 0..nnz {
+                            let col = rng.next_below(na);
+                            let (reg, off) = elem_of(&p_mv, col);
+                            load_line(out, reg, off);
+                            out.push(Op::Compute(cpn));
+                        }
+                        let (qreg, qoff) = elem_of(&q_mv, row);
+                        store_line(out, qreg, qoff);
+                    }
+                });
+                b.barrier(BarrierId(0));
+                // alpha = (r.r) / (p.q): local partials over owned
+                // segments, then a lock-protected global accumulate.
+                let p_d = p.clone();
+                let q_d = q.clone();
+                b.block(move |_ctx, out| {
+                    let (preg, poff) = elem_of(&p_d, my0);
+                    touch_shared(out, preg, poff, (my1 - my0) * 8, false, 16);
+                    let (qreg, qoff) = elem_of(&q_d, my0);
+                    touch_shared(out, qreg, qoff, (my1 - my0) * 8, false, 16);
+                });
+                b.lock(LockId(0));
+                b.block(move |_ctx, out| {
+                    load_line(out, scalars, 0);
+                    out.push(Op::Compute(6));
+                    store_line(out, scalars, 0);
+                });
+                b.unlock(LockId(0));
+                b.barrier(BarrierId(0));
+                // x += alpha p ; r -= alpha q on owned segments.
+                let q_x = q.clone();
+                let r_x = r.clone();
+                b.block(move |_ctx, out| {
+                    let (qreg, qoff) = elem_of(&q_x, my0);
+                    touch_shared(out, qreg, qoff, (my1 - my0) * 8, false, 8);
+                    let (rreg, roff) = elem_of(&r_x, my0);
+                    touch_shared(out, rreg, roff, (my1 - my0) * 8, true, 8);
+                });
+                // rho = r.r reduction.
+                b.lock(LockId(1));
+                b.block(move |_ctx, out| {
+                    load_line(out, scalars, 0);
+                    out.push(Op::Compute(6));
+                    store_line(out, scalars, 0);
+                });
+                b.unlock(LockId(1));
+                b.barrier(BarrierId(0));
+                // p = r + beta p on owned segment: invalidates every
+                // consumer's cached copy of p.
+                let p_u = p.clone();
+                let r_u = r.clone();
+                b.block(move |_ctx, out| {
+                    let (rreg, roff) = elem_of(&r_u, my0);
+                    touch_shared(out, rreg, roff, (my1 - my0) * 8, false, 8);
+                    let (preg, poff) = elem_of(&p_u, my0);
+                    touch_shared(out, preg, poff, (my1 - my0) * 8, true, 0);
+                });
+                b.barrier(BarrierId(0));
+            });
+            b.build("cg")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slipstream_prog::InstanceId;
+
+    #[test]
+    fn gather_pattern_is_deterministic_across_instances() {
+        let w = Cg::quick();
+        let mut layout = Layout::new();
+        let build = w.instantiate(4, &mut layout);
+        let a: Vec<Op> = build(&mut layout, InstanceId(0), 2).iter().collect();
+        let b: Vec<Op> = build(&mut layout, InstanceId(9), 2).iter().collect();
+        assert_eq!(a, b, "A-stream must see the same shared addresses as its R-stream");
+    }
+
+    #[test]
+    fn four_barriers_two_reductions_per_iteration() {
+        let w = Cg::quick();
+        let mut layout = Layout::new();
+        let build = w.instantiate(2, &mut layout);
+        let prog = build(&mut layout, InstanceId(0), 0);
+        let barriers = prog.iter().filter(|o| matches!(o, Op::Barrier(_))).count() as u64;
+        let locks = prog.iter().filter(|o| matches!(o, Op::Lock(_))).count() as u64;
+        assert_eq!(barriers, 4 * w.iters);
+        assert_eq!(locks, 2 * w.iters);
+    }
+
+    #[test]
+    fn matvec_reads_p_from_many_segments() {
+        let w = Cg::quick();
+        let mut layout = Layout::new();
+        let ntasks = 4;
+        let build = w.instantiate(ntasks, &mut layout);
+        let prog = build(&mut layout, InstanceId(0), 0);
+        let loads: std::collections::HashSet<u64> = prog
+            .iter()
+            .filter_map(|op| match op {
+                Op::Load { addr, .. } => Some(addr.0),
+                _ => None,
+            })
+            .collect();
+        // p segments are the first `ntasks` regions.
+        let mut touched = 0;
+        for r in layout.regions().iter().take(ntasks) {
+            if loads.iter().any(|a| *a >= r.base.0 && *a < r.end().0) {
+                touched += 1;
+            }
+        }
+        assert!(touched >= 3, "gather should span most p segments, got {touched}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Six-step FFT (Splash-2), 64K complex doubles in the paper.
+//!
+//! The 64K points form a sqrt(m) x sqrt(m) matrix of 16-byte complex
+//! elements, row-blocked across tasks in two buffers. The six-step
+//! algorithm is: transpose, row FFTs, transpose, twiddle + row FFTs,
+//! transpose — with a barrier after each phase. The blocked transposes are
+//! all-to-all communication (every task reads a block column from every
+//! other task's rows), which is why FFT's single-mode performance
+//! *degrades* past 4 CMPs for this data size (Figure 4) and why the paper
+//! only evaluates FFT at 4 CMPs.
+
+use slipstream_core::{TaskBuilderFn, Workload};
+use slipstream_prog::{ArrayRef, BarrierId, Layout, Op, ProgBuilder};
+
+use crate::util::{block_range, touch_shared};
+
+/// Six-step FFT over `m` complex points.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    /// Total complex points (`sqrt(m)` must be an integer number of rows).
+    pub m: u64,
+    /// Compute cycles per point per FFT butterfly stage.
+    pub cycles_per_point: u32,
+}
+
+impl Fft {
+    /// Paper configuration: 64K complex doubles (256 x 256 matrix).
+    pub fn paper() -> Fft {
+        Fft { m: 64 * 1024, cycles_per_point: 5 }
+    }
+
+    /// Reduced size for tests and smoke runs (64 x 64 matrix).
+    pub fn quick() -> Fft {
+        Fft { m: 4 * 1024, cycles_per_point: 5 }
+    }
+
+    fn side(&self) -> u64 {
+        let s = (self.m as f64).sqrt() as u64;
+        assert_eq!(s * s, self.m, "m must be a perfect square");
+        s
+    }
+}
+
+impl Workload for Fft {
+    fn name(&self) -> &str {
+        "FFT"
+    }
+
+    fn instantiate(&self, ntasks: usize, layout: &mut Layout) -> TaskBuilderFn {
+        let n = self.side(); // matrix is n x n complex
+        let elem = 16u64; // complex double
+        let row_bytes = n * elem;
+        // Two row-blocked buffers (source and transpose target).
+        let alloc = |layout: &mut Layout, name: &str| -> Vec<ArrayRef> {
+            (0..ntasks)
+                .map(|t| {
+                    let (r0, r1) = block_range(n, ntasks, t);
+                    layout.shared_owned(
+                        &format!("fft.{name}{t}"),
+                        (r1 - r0).max(1) * row_bytes,
+                        t,
+                    )
+                })
+                .collect()
+        };
+        let buf_a = alloc(layout, "a");
+        let buf_b = alloc(layout, "b");
+        let cpp = self.cycles_per_point;
+        // log2(n) butterfly stages, ~5 flops each, per point of a row FFT.
+        let stages = 64 - (n - 1).leading_zeros() as u64;
+        let fft_row_cycles_per_line = (4 * stages * cpp as u64) as u32; // 4 elems/line
+        Box::new(move |_layout, _inst, task| {
+            let (my0, my1) = block_range(n, ntasks, task);
+            let buf_a = buf_a.clone();
+            let buf_b = buf_b.clone();
+            let mut b = ProgBuilder::new();
+            // The problem size and plan arrive via one global input
+            // operation (performed once by the R-stream in slipstream
+            // mode).
+            b.op(Op::Input);
+            // Serial initialization, as in Splash-2 FFT: processor 0
+            // generates the data and twiddle factors while everyone else
+            // waits. This Amdahl section (whose writes become remote as
+            // the machine grows) is what caps FFT's scalability at this
+            // problem size and makes it degrade past 4-8 CMPs (Figure 4).
+            if task == 0 {
+                let init_a = buf_a.clone();
+                b.block(move |_ctx, out| {
+                    for (t, blk) in init_a.iter().enumerate() {
+                        let (r0, r1) = block_range(n, ntasks, t);
+                        let bytes = (r1 - r0).max(1) * row_bytes;
+                        touch_shared(out, *blk, 0, bytes, true, 2);
+                    }
+                });
+            }
+            b.barrier(BarrierId(0));
+            let row_of = move |bufs: &[ArrayRef], row: u64| -> (ArrayRef, u64) {
+                let mut t = 0;
+                loop {
+                    let (s, e) = block_range(n, ntasks, t);
+                    if row >= s && row < e {
+                        return (bufs[t], (row - s) * row_bytes);
+                    }
+                    t += 1;
+                }
+            };
+            // Blocked transpose src -> dst: for each of my dst rows, read
+            // the matching column of src (one 64-byte line per 4 source
+            // rows x 4-element column chunk, blocked 4x4).
+            let transpose = move |b: &mut ProgBuilder, bufs: (Vec<ArrayRef>, Vec<ArrayRef>)| {
+                let (src, dst) = bufs;
+                b.block(move |_ctx, out| {
+                    for dr in my0..my1 {
+                        // Column dr of src feeds row dr of dst: walk source
+                        // rows in blocks of 4 (one line covers 4 elements
+                        // of a row; the column visits a new line per row).
+                        for sr in 0..n {
+                            let (reg, off) = row_of(&src, sr);
+                            // Element (sr, dr): one line touch.
+                            touch_shared(out, reg, off + dr * elem, elem, false, 0);
+                        }
+                        let (dreg, doff) = row_of(&dst, dr);
+                        touch_shared(out, dreg, doff, row_bytes, true, 2);
+                    }
+                });
+                b.barrier(BarrierId(0));
+            };
+            // Row FFTs over my rows of a buffer.
+            let row_fft = move |b: &mut ProgBuilder, bufs: Vec<ArrayRef>| {
+                b.block(move |_ctx, out| {
+                    for r in my0..my1 {
+                        let (reg, off) = row_of(&bufs, r);
+                        touch_shared(out, reg, off, row_bytes, false, fft_row_cycles_per_line);
+                        touch_shared(out, reg, off, row_bytes, true, 0);
+                    }
+                });
+                b.barrier(BarrierId(0));
+            };
+            // Six-step: T(A->B), FFT(B), T(B->A), twiddle+FFT(A), T(A->B).
+            transpose(&mut b, (buf_a.clone(), buf_b.clone()));
+            row_fft(&mut b, buf_b.clone());
+            transpose(&mut b, (buf_b.clone(), buf_a.clone()));
+            row_fft(&mut b, buf_a.clone());
+            transpose(&mut b, (buf_a.clone(), buf_b.clone()));
+            b.build("fft")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slipstream_prog::InstanceId;
+
+    #[test]
+    fn has_five_phases() {
+        let w = Fft::quick();
+        let mut layout = Layout::new();
+        let build = w.instantiate(4, &mut layout);
+        let prog = build(&mut layout, InstanceId(0), 0);
+        let barriers = prog.iter().filter(|o| matches!(o, Op::Barrier(_))).count();
+        assert_eq!(barriers, 6); // serial init + five six-step phases
+        assert_eq!(prog.iter().filter(|o| matches!(o, Op::Input)).count(), 1);
+    }
+
+    #[test]
+    fn transpose_reads_every_other_tasks_rows() {
+        let w = Fft::quick();
+        let mut layout = Layout::new();
+        let ntasks = 4;
+        let build = w.instantiate(ntasks, &mut layout);
+        let prog = build(&mut layout, InstanceId(2), 2);
+        let loads: std::collections::HashSet<u64> = prog
+            .iter()
+            .filter_map(|op| match op {
+                Op::Load { addr, .. } => Some(addr.0),
+                _ => None,
+            })
+            .collect();
+        // Task 2 must read from every buf_a region (regions 0..ntasks).
+        for (i, r) in layout.regions().iter().take(ntasks).enumerate() {
+            assert!(
+                loads.iter().any(|a| *a >= r.base.0 && *a < r.end().0),
+                "no reads from task {i}'s rows"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn non_square_size_panics() {
+        Fft { m: 1000, cycles_per_point: 1 }.side();
+    }
+}

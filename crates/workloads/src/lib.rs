@@ -1,0 +1,86 @@
+//! The paper's nine parallel scientific kernels, re-implemented as
+//! access-pattern programs for the slipstream CMP simulator (Table 2 of
+//! the paper):
+//!
+//! | Kernel | Origin | Size (paper defaults) |
+//! |---|---|---|
+//! | [`Fft`] | Splash-2 | 64K complex doubles |
+//! | [`Ocean`] | Splash-2 | 258 x 258 |
+//! | [`WaterNs`] | Splash-2 (n-squared) | 512 molecules |
+//! | [`WaterSp`] | Splash-2 (spatial) | 512 molecules |
+//! | [`Sor`] | red-black SOR | 1024 x 1024 |
+//! | [`Lu`] | Splash-2 | 512 x 512 (16 x 16 blocks) |
+//! | [`Cg`] | NAS | n = 1400 |
+//! | [`Mg`] | NAS | 32 x 32 x 32 |
+//! | [`Sp`] | NAS | 16 x 16 x 16 |
+//!
+//! Every kernel implements [`slipstream_core::Workload`]: it allocates its
+//! shared arrays (block-owned pages model first-touch placement) and emits
+//! per-task programs whose loop structure, sharing pattern, and
+//! synchronization match the original algorithm. Arithmetic is folded into
+//! calibrated per-line compute costs; see DESIGN.md for the calibration
+//! notes and EXPERIMENTS.md for measured-vs-paper behaviour.
+//!
+//! Each kernel offers `paper()` (Table 2 sizes) and `quick()` (reduced
+//! sizes for tests and smoke runs).
+
+pub mod util;
+
+mod cg;
+mod fft;
+mod lu;
+mod mg;
+mod ocean;
+mod sor;
+mod sp;
+mod water_ns;
+mod water_sp;
+
+pub use cg::Cg;
+pub use fft::Fft;
+pub use lu::Lu;
+pub use mg::Mg;
+pub use ocean::Ocean;
+pub use sor::Sor;
+pub use sp::Sp;
+pub use water_ns::WaterNs;
+pub use water_sp::WaterSp;
+
+use slipstream_core::Workload;
+
+/// The full paper benchmark suite at Table 2 sizes, in the paper's order.
+pub fn paper_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Cg::paper()),
+        Box::new(Fft::paper()),
+        Box::new(Lu::paper()),
+        Box::new(Mg::paper()),
+        Box::new(Ocean::paper()),
+        Box::new(Sor::paper()),
+        Box::new(Sp::paper()),
+        Box::new(WaterNs::paper()),
+        Box::new(WaterSp::paper()),
+    ]
+}
+
+/// The suite at reduced sizes (same shapes, shorter runs), for tests,
+/// examples, and quick sweeps.
+pub fn quick_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Cg::quick()),
+        Box::new(Fft::quick()),
+        Box::new(Lu::quick()),
+        Box::new(Mg::quick()),
+        Box::new(Ocean::quick()),
+        Box::new(Sor::quick()),
+        Box::new(Sp::quick()),
+        Box::new(WaterNs::quick()),
+        Box::new(WaterSp::quick()),
+    ]
+}
+
+/// Looks a suite member up by (case-insensitive) name.
+pub fn by_name(name: &str, quick: bool) -> Option<Box<dyn Workload>> {
+    let suite = if quick { quick_suite() } else { paper_suite() };
+    suite.into_iter().find(|w| w.name().eq_ignore_ascii_case(name))
+}

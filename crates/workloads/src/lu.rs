@@ -1,0 +1,217 @@
+//! Blocked dense LU factorization (Splash-2), 512 x 512 with 16 x 16
+//! blocks in the paper.
+//!
+//! Blocks are assigned to tasks in a 2D scatter over a `pr x pc` task
+//! grid, the Splash-2 decomposition. Step `k` factors the diagonal block,
+//! then owners of perimeter blocks in row/column `k` update them against
+//! the diagonal block, then owners of interior blocks update against the
+//! two perimeter blocks — with barriers between phases. Compute per block
+//! is O(b^3), so LU is the most compute-dense kernel in the suite and (per
+//! Figure 4) keeps scaling to 16 CMPs, which is why the paper finds
+//! slipstream is *not* the right mode for it.
+
+use slipstream_core::{TaskBuilderFn, Workload};
+use slipstream_prog::{ArrayRef, BarrierId, Layout, ProgBuilder};
+
+use crate::util::{factor2, touch_shared};
+
+/// `(region, byte offset)` handle of one block.
+type BlockAt = (ArrayRef, u64);
+/// An interior update: the target block and the two perimeter inputs.
+type InteriorWork = (BlockAt, BlockAt, BlockAt);
+
+/// Blocked LU decomposition.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Matrix is `n x n` doubles.
+    pub n: u64,
+    /// Block edge (paper: 16).
+    pub b: u64,
+    /// Compute cycles per multiply-accumulate pair (calibration knob).
+    pub cycles_per_flop_x16: u32,
+}
+
+impl Lu {
+    /// Paper configuration: 512 x 512, 16 x 16 blocks.
+    pub fn paper() -> Lu {
+        Lu { n: 512, b: 16, cycles_per_flop_x16: 16 }
+    }
+
+    /// Reduced size for tests and smoke runs.
+    pub fn quick() -> Lu {
+        Lu { n: 128, b: 16, cycles_per_flop_x16: 16 }
+    }
+
+    fn nb(&self) -> u64 {
+        self.n / self.b
+    }
+}
+
+impl Workload for Lu {
+    fn name(&self) -> &str {
+        "LU"
+    }
+
+    fn instantiate(&self, ntasks: usize, layout: &mut Layout) -> TaskBuilderFn {
+        let nb = self.nb();
+        let b = self.b;
+        let block_bytes = b * b * 8;
+        let (pr, pc) = factor2(ntasks);
+        let owner = move |bi: u64, bj: u64| -> usize {
+            (bi as usize % pr) * pc + (bj as usize % pc)
+        };
+        // Each task's blocks live in one owned region, in scatter order.
+        let regions: Vec<ArrayRef> = (0..ntasks)
+            .map(|t| {
+                let count = (0..nb)
+                    .flat_map(|i| (0..nb).map(move |j| (i, j)))
+                    .filter(|&(i, j)| owner(i, j) == t)
+                    .count() as u64;
+                layout.shared_owned(&format!("lu.blocks{t}"), count.max(1) * block_bytes, t)
+            })
+            .collect();
+        // Byte offset of block (bi, bj) inside its owner's region,
+        // precomputed in scatter order.
+        let offsets: std::rc::Rc<Vec<u64>> = {
+            let mut next = vec![0u64; ntasks];
+            let mut table = vec![0u64; (nb * nb) as usize];
+            for i in 0..nb {
+                for j in 0..nb {
+                    let t = owner(i, j);
+                    table[(i * nb + j) as usize] = next[t] * block_bytes;
+                    next[t] += 1;
+                }
+            }
+            std::rc::Rc::new(table)
+        };
+        let block_at = move |bi: u64, bj: u64| -> u64 { offsets[(bi * nb + bj) as usize] };
+        // Per-block compute costs (cycles), from flop counts:
+        // diag ~ 2/3 b^3, perimeter ~ b^3, interior ~ 2 b^3.
+        let unit = self.cycles_per_flop_x16 as u64;
+        let diag_cycles = (2 * b * b * b / 3) * unit / 16;
+        let peri_cycles = (b * b * b) * unit / 16;
+        let inner_cycles = (2 * b * b * b) * unit / 16;
+        let lines_per_block = block_bytes / 64;
+        Box::new(move |_layout, _inst, task| {
+            let regions = regions.clone();
+            let mut prog = ProgBuilder::new();
+            // The statement tree for all nb steps is built eagerly (the
+            // step structure is static), with per-step work in blocks.
+            for k in 0..nb {
+                let regions_d = regions.clone();
+                // Phase 1: factor the diagonal block (owner only).
+                if owner(k, k) == task {
+                    let off = block_at(k, k);
+                    let reg = regions_d[owner(k, k)];
+                    let comp = (diag_cycles / lines_per_block.max(1)) as u32;
+                    prog.block(move |_ctx, out| {
+                        touch_shared(out, reg, off, block_bytes, false, comp);
+                        touch_shared(out, reg, off, block_bytes, true, 0);
+                    });
+                }
+                prog.barrier(BarrierId(0));
+                // Phase 2: perimeter blocks in column k and row k.
+                let regions_p = regions.clone();
+                let my_peri: Vec<(u64, u64)> = (k + 1..nb)
+                    .flat_map(|i| [(i, k), (k, i)])
+                    .filter(|&(i, j)| owner(i, j) == task)
+                    .collect();
+                if !my_peri.is_empty() {
+                    let diag_reg = regions_p[owner(k, k)];
+                    let diag_off = block_at(k, k);
+                    let mine: Vec<(ArrayRef, u64)> = my_peri
+                        .iter()
+                        .map(|&(i, j)| (regions_p[owner(i, j)], block_at(i, j)))
+                        .collect();
+                    let comp = (peri_cycles / lines_per_block.max(1)) as u32;
+                    prog.block(move |_ctx, out| {
+                        touch_shared(out, diag_reg, diag_off, block_bytes, false, 0);
+                        for &(reg, off) in &mine {
+                            touch_shared(out, reg, off, block_bytes, false, comp);
+                            touch_shared(out, reg, off, block_bytes, true, 0);
+                        }
+                    });
+                }
+                prog.barrier(BarrierId(0));
+                // Phase 3: interior blocks (i, j), i > k, j > k.
+                let regions_i = regions.clone();
+                let mine: Vec<(u64, u64)> = (k + 1..nb)
+                    .flat_map(|i| (k + 1..nb).map(move |j| (i, j)))
+                    .filter(|&(i, j)| owner(i, j) == task)
+                    .collect();
+                if !mine.is_empty() {
+                    let work: Vec<InteriorWork> = mine
+                        .iter()
+                        .map(|&(i, j)| {
+                            (
+                                (regions_i[owner(i, j)], block_at(i, j)),
+                                (regions_i[owner(i, k)], block_at(i, k)),
+                                (regions_i[owner(k, j)], block_at(k, j)),
+                            )
+                        })
+                        .collect();
+                    let comp = (inner_cycles / lines_per_block.max(1)) as u32;
+                    prog.block(move |_ctx, out| {
+                        for &((breg, boff), (lreg, loff), (ureg, uoff)) in &work {
+                            touch_shared(out, lreg, loff, block_bytes, false, 0);
+                            touch_shared(out, ureg, uoff, block_bytes, false, 0);
+                            touch_shared(out, breg, boff, block_bytes, false, comp);
+                            touch_shared(out, breg, boff, block_bytes, true, 0);
+                        }
+                    });
+                }
+                prog.barrier(BarrierId(0));
+            }
+            prog.build("lu")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slipstream_prog::{InstanceId, Op};
+
+    #[test]
+    fn barrier_count_is_three_per_step() {
+        let w = Lu::quick(); // nb = 8
+        let mut layout = Layout::new();
+        let build = w.instantiate(4, &mut layout);
+        let prog = build(&mut layout, InstanceId(0), 0);
+        let barriers = prog.iter().filter(|o| matches!(o, Op::Barrier(_))).count();
+        assert_eq!(barriers as u64, 3 * w.nb());
+    }
+
+    #[test]
+    fn every_block_is_owned_exactly_once() {
+        let w = Lu::quick();
+        let mut layout = Layout::new();
+        let ntasks = 4;
+        let build = w.instantiate(ntasks, &mut layout);
+        // All tasks together must store every block at least once (each
+        // interior block is written at every step it participates in).
+        let mut stores = std::collections::HashSet::new();
+        for t in 0..ntasks {
+            let prog = build(&mut layout, InstanceId(t as u32), t);
+            for op in prog.iter() {
+                if let Op::Store { addr, .. } = op {
+                    stores.insert(addr.0 / 2048 * 2048);
+                }
+            }
+        }
+        // 8x8 blocks of 2KB each = 64 distinct block bases.
+        assert!(stores.len() >= 60, "only {} block bases written", stores.len());
+    }
+
+    #[test]
+    fn interior_work_shrinks_with_k() {
+        // The program is heavier early (more interior blocks): op count for
+        // a 1-task build must exceed 3x the barrier count significantly.
+        let w = Lu::quick();
+        let mut layout = Layout::new();
+        let build = w.instantiate(1, &mut layout);
+        let prog = build(&mut layout, InstanceId(0), 0);
+        let n_ops = prog.iter().count();
+        assert!(n_ops > 1000, "{n_ops}");
+    }
+}

@@ -1,0 +1,221 @@
+//! NAS Multigrid (shared-memory version), 32 x 32 x 32 in the paper.
+//!
+//! V-cycles over a hierarchy of 3D grids partitioned by z-planes. Each
+//! smoothing step is a 7-point stencil needing the boundary planes of the
+//! z-neighbours; restriction and prolongation move data between levels.
+//! With only a 32^3 finest grid, tasks own just two planes at 16 CMPs and
+//! the coarse levels leave most tasks idle — the ghost-plane exchange and
+//! barrier cost dominate, producing the diminishing returns of Figure 4.
+
+use slipstream_core::{TaskBuilderFn, Workload};
+use slipstream_prog::{ArrayRef, BarrierId, Layout, ProgBuilder};
+
+use crate::util::{block_range, touch_shared};
+
+/// The multigrid kernel.
+#[derive(Debug, Clone)]
+pub struct Mg {
+    /// Finest grid edge (grids are `n^3`).
+    pub n: u64,
+    /// Multigrid levels (finest has edge `n`, each next is halved).
+    pub levels: usize,
+    /// Full V-cycles.
+    pub cycles: u64,
+    /// Compute cycles per line of a plane per stencil sweep.
+    pub cycles_per_line: u32,
+}
+
+impl Mg {
+    /// Paper configuration: 32 x 32 x 32.
+    pub fn paper() -> Mg {
+        Mg { n: 32, levels: 4, cycles: 4, cycles_per_line: 90 }
+    }
+
+    /// Reduced size for tests and smoke runs.
+    pub fn quick() -> Mg {
+        Mg { n: 16, levels: 3, cycles: 2, cycles_per_line: 90 }
+    }
+}
+
+/// One z-plane-blocked 3D grid.
+#[derive(Clone)]
+struct PlaneGrid {
+    blocks: Vec<ArrayRef>,
+    n: u64,
+    plane_bytes: u64,
+    ntasks: usize,
+}
+
+impl PlaneGrid {
+    fn alloc(layout: &mut Layout, name: &str, n: u64, ntasks: usize) -> PlaneGrid {
+        let plane_bytes = n * n * 8;
+        let blocks = (0..ntasks)
+            .map(|t| {
+                let (z0, z1) = block_range(n, ntasks, t);
+                layout.shared_owned(&format!("mg.{name}{t}"), (z1 - z0).max(1) * plane_bytes, t)
+            })
+            .collect();
+        PlaneGrid { blocks, n, plane_bytes, ntasks }
+    }
+
+    fn plane(&self, z: u64) -> (ArrayRef, u64) {
+        let mut t = 0;
+        loop {
+            let (s, e) = block_range(self.n, self.ntasks, t);
+            if z >= s && z < e {
+                return (self.blocks[t], (z - s) * self.plane_bytes);
+            }
+            t += 1;
+        }
+    }
+
+    /// A 7-point-stencil sweep over task `t`'s planes: reads this grid
+    /// (with the z-neighbours' boundary planes) and writes `dst` — the NAS
+    /// MG structure, where `resid` reads `u` and writes `r` and `psinv`
+    /// reads `r` and writes `u`. Reading one array while writing the other
+    /// means ghost reads always target data finalized a phase earlier,
+    /// which is what the A-stream's run-ahead prefetches exploit.
+    fn sweep_into(&self, dst: &PlaneGrid, out: &mut Vec<slipstream_prog::Op>, t: usize, comp: u32) {
+        let (z0, z1) = block_range(self.n, self.ntasks, t);
+        for z in z0..z1 {
+            if z > 0 && z == z0 {
+                let (reg, off) = self.plane(z - 1);
+                touch_shared(out, reg, off, self.plane_bytes, false, 0);
+            }
+            if z + 1 < self.n && z + 1 == z1 {
+                let (reg, off) = self.plane(z + 1);
+                touch_shared(out, reg, off, self.plane_bytes, false, 0);
+            }
+            let (reg, off) = self.plane(z);
+            touch_shared(out, reg, off, self.plane_bytes, false, comp);
+            let (dreg, doff) = dst.plane(z);
+            touch_shared(out, dreg, doff, dst.plane_bytes, true, 0);
+        }
+    }
+}
+
+impl Workload for Mg {
+    fn name(&self) -> &str {
+        "MG"
+    }
+
+    fn instantiate(&self, ntasks: usize, layout: &mut Layout) -> TaskBuilderFn {
+        // Two grids per level, as in NAS MG: the solution `u` and the
+        // residual `r`.
+        let u_grids: Vec<PlaneGrid> = (0..self.levels)
+            .map(|l| PlaneGrid::alloc(layout, &format!("u{l}"), (self.n >> l).max(2), ntasks))
+            .collect();
+        let r_grids: Vec<PlaneGrid> = (0..self.levels)
+            .map(|l| PlaneGrid::alloc(layout, &format!("r{l}"), (self.n >> l).max(2), ntasks))
+            .collect();
+        let cycles = self.cycles;
+        let comp = self.cycles_per_line;
+        let levels = self.levels;
+        Box::new(move |_layout, _inst, task| {
+            let u_grids = u_grids.clone();
+            let r_grids = r_grids.clone();
+            let mut b = ProgBuilder::new();
+            b.for_n(cycles, move |b| {
+                // Down-sweep: resid (u -> r) + restrict (r fine -> u coarse).
+                for l in 0..levels {
+                    let u = u_grids[l].clone();
+                    let r = r_grids[l].clone();
+                    b.block(move |_ctx, out| u.sweep_into(&r, out, task, comp));
+                    b.barrier(BarrierId(0));
+                    if l + 1 < levels {
+                        let fine = r_grids[l].clone();
+                        let coarse = u_grids[l + 1].clone();
+                        b.block(move |_ctx, out| {
+                            let (z0, z1) = block_range(fine.n, fine.ntasks, task);
+                            for z in z0..z1 {
+                                let (reg, off) = fine.plane(z);
+                                touch_shared(out, reg, off, fine.plane_bytes, false, comp / 2);
+                            }
+                            let (c0, c1) = block_range(coarse.n, coarse.ntasks, task);
+                            for z in c0..c1 {
+                                let (reg, off) = coarse.plane(z);
+                                touch_shared(out, reg, off, coarse.plane_bytes, true, 0);
+                            }
+                        });
+                        b.barrier(BarrierId(0));
+                    }
+                }
+                // Up-sweep: prolong (u coarse -> u fine) + psinv (r -> u).
+                for l in (0..levels.saturating_sub(1)).rev() {
+                    let fine = u_grids[l].clone();
+                    let coarse = u_grids[l + 1].clone();
+                    b.block(move |_ctx, out| {
+                        let (c0, c1) = block_range(coarse.n, coarse.ntasks, task);
+                        for z in c0..c1 {
+                            let (reg, off) = coarse.plane(z);
+                            touch_shared(out, reg, off, coarse.plane_bytes, false, comp / 2);
+                        }
+                        let (z0, z1) = block_range(fine.n, fine.ntasks, task);
+                        for z in z0..z1 {
+                            let (reg, off) = fine.plane(z);
+                            touch_shared(out, reg, off, fine.plane_bytes, true, 0);
+                        }
+                    });
+                    b.barrier(BarrierId(0));
+                    let r = r_grids[l].clone();
+                    let u = u_grids[l].clone();
+                    b.block(move |_ctx, out| r.sweep_into(&u, out, task, comp));
+                    b.barrier(BarrierId(0));
+                }
+            });
+            b.build("mg")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slipstream_prog::{InstanceId, Op};
+
+    #[test]
+    fn vcycle_barrier_count() {
+        let w = Mg::quick(); // levels = 3
+        let mut layout = Layout::new();
+        let build = w.instantiate(2, &mut layout);
+        let prog = build(&mut layout, InstanceId(0), 0);
+        let barriers = prog.iter().filter(|o| matches!(o, Op::Barrier(_))).count() as u64;
+        // Per cycle: levels smooths + (levels-1) restricts + (levels-1)*2
+        // prolong+smooth.
+        let per_cycle = w.levels as u64 + (w.levels as u64 - 1) * 3;
+        assert_eq!(barriers, w.cycles * per_cycle);
+    }
+
+    #[test]
+    fn ghost_planes_come_from_neighbours() {
+        let w = Mg::quick();
+        let mut layout = Layout::new();
+        let build = w.instantiate(4, &mut layout);
+        let prog = build(&mut layout, InstanceId(1), 1);
+        // Task 1's finest-level region is regions[1]; it must read from
+        // regions[0] and regions[2] (z-neighbours).
+        let loads: Vec<u64> = prog
+            .iter()
+            .filter_map(|op| match op {
+                Op::Load { addr, .. } => Some(addr.0),
+                _ => None,
+            })
+            .collect();
+        for nb in [0usize, 2] {
+            let r = &layout.regions()[nb];
+            assert!(
+                loads.iter().any(|a| *a >= r.base.0 && *a < r.end().0),
+                "no ghost reads from task {nb}"
+            );
+        }
+    }
+
+    #[test]
+    fn coarse_grids_shrink() {
+        let w = Mg::paper();
+        let mut layout = Layout::new();
+        let _ = w.instantiate(1, &mut layout);
+        let sizes: Vec<u64> = layout.regions().iter().map(|r| r.bytes).collect();
+        assert!(sizes[0] > sizes[1], "{sizes:?}");
+    }
+}

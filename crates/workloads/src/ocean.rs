@@ -1,0 +1,228 @@
+//! Ocean basin simulation (Splash-2, contiguous-partitions style), 258 x
+//! 258 in the paper.
+//!
+//! Each timestep runs a series of 5-point stencil sweeps over several
+//! working grids (vorticity, stream function, ...) followed by a red-black
+//! multigrid V-cycle for the elliptic solve — every phase separated by a
+//! barrier. Rows are block-partitioned; only block-boundary rows are
+//! communicated, but the many short phases and the small coarse grids give
+//! Ocean a high synchronization-to-work ratio, so its speedup diminishes
+//! toward 16 CMPs (Figure 4) and slipstream overtakes both single and
+//! double at 8 CMPs (Figure 5).
+
+use slipstream_core::{TaskBuilderFn, Workload};
+use slipstream_prog::{ArrayRef, BarrierId, Layout, LockId, Op, ProgBuilder};
+
+use crate::util::{block_range, load_line, store_line, touch_shared};
+
+/// The Ocean kernel.
+#[derive(Debug, Clone)]
+pub struct Ocean {
+    /// Grids are `n x n` doubles (paper: 258).
+    pub n: u64,
+    /// Number of working grids swept per timestep.
+    pub grids: usize,
+    /// Timesteps.
+    pub steps: u64,
+    /// Multigrid levels in the V-cycle solver.
+    pub levels: usize,
+    /// Compute cycles per grid line per sweep.
+    pub cycles_per_line: u32,
+}
+
+impl Ocean {
+    /// Paper configuration: 258 x 258.
+    pub fn paper() -> Ocean {
+        Ocean { n: 258, grids: 20, steps: 2, levels: 5, cycles_per_line: 30 }
+    }
+
+    /// Reduced size for tests and smoke runs.
+    pub fn quick() -> Ocean {
+        Ocean { n: 130, grids: 6, steps: 1, levels: 4, cycles_per_line: 30 }
+    }
+}
+
+/// One row-blocked grid: per-task owned regions.
+#[derive(Clone)]
+struct GridBlocks {
+    blocks: Vec<ArrayRef>,
+    n: u64,
+    row_bytes: u64,
+    ntasks: usize,
+}
+
+impl GridBlocks {
+    fn alloc(layout: &mut Layout, name: &str, n: u64, ntasks: usize) -> GridBlocks {
+        let row_bytes = n * 8;
+        let blocks = (0..ntasks)
+            .map(|t| {
+                let (r0, r1) = block_range(n, ntasks, t);
+                layout.shared_owned(&format!("ocean.{name}{t}"), (r1 - r0).max(1) * row_bytes, t)
+            })
+            .collect();
+        GridBlocks { blocks, n, row_bytes, ntasks }
+    }
+
+    fn row(&self, r: u64) -> (ArrayRef, u64) {
+        let mut t = 0;
+        loop {
+            let (s, e) = block_range(self.n, self.ntasks, t);
+            if r >= s && r < e {
+                return (self.blocks[t], (r - s) * self.row_bytes);
+            }
+            t += 1;
+        }
+    }
+
+    /// Emits one 5-point stencil sweep over task `t`'s rows.
+    fn sweep(&self, out: &mut Vec<slipstream_prog::Op>, t: usize, comp: u32) {
+        let (my0, my1) = block_range(self.n, self.ntasks, t);
+        for r in my0..my1 {
+            if r > 0 && r == my0 {
+                let (reg, off) = self.row(r - 1);
+                touch_shared(out, reg, off, self.row_bytes, false, 0);
+            }
+            if r + 1 < self.n && r + 1 == my1 {
+                let (reg, off) = self.row(r + 1);
+                touch_shared(out, reg, off, self.row_bytes, false, 0);
+            }
+            let (reg, off) = self.row(r);
+            touch_shared(out, reg, off, self.row_bytes, false, comp);
+            touch_shared(out, reg, off, self.row_bytes, true, 0);
+        }
+    }
+}
+
+impl Workload for Ocean {
+    fn name(&self) -> &str {
+        "OCEAN"
+    }
+
+    fn instantiate(&self, ntasks: usize, layout: &mut Layout) -> TaskBuilderFn {
+        // Global scalars for the solver's convergence checks.
+        let scalars = layout.shared("ocean.err", 64);
+        let work_grids: Vec<GridBlocks> = (0..self.grids)
+            .map(|g| GridBlocks::alloc(layout, &format!("g{g}"), self.n, ntasks))
+            .collect();
+        // Multigrid hierarchy: n, n/2+1, n/4+1, ...
+        let mg_grids: Vec<GridBlocks> = (0..self.levels)
+            .map(|l| {
+                let ln = (self.n >> l).max(4) + 1;
+                GridBlocks::alloc(layout, &format!("mg{l}"), ln, ntasks)
+            })
+            .collect();
+        let steps = self.steps;
+        let comp = self.cycles_per_line;
+        let levels = self.levels;
+        Box::new(move |_layout, _inst, task| {
+            let work_grids = work_grids.clone();
+            let mg_grids = mg_grids.clone();
+            let mut b = ProgBuilder::new();
+            b.for_n(steps, move |b| {
+                // Phase 1: stencil sweeps over the working grids.
+                for g in work_grids.clone() {
+                    b.block(move |_ctx, out| g.sweep(out, task, comp));
+                    b.barrier(BarrierId(0));
+                }
+                // Phase 2: multigrid V-cycle on the elliptic system.
+                // Down: smooth + convergence reduction + restrict. The
+                // solver's error check is a lock-protected global
+                // accumulation, as in Ocean's multigrid (a serialization
+                // point that grows with the task count).
+                for l in 0..levels {
+                    let fine = mg_grids[l].clone();
+                    b.block(move |_ctx, out| fine.sweep(out, task, comp));
+                    b.lock(LockId(0));
+                    b.block(move |_ctx, out| {
+                        load_line(out, scalars, 0);
+                        out.push(Op::Compute(8));
+                        store_line(out, scalars, 0);
+                    });
+                    b.unlock(LockId(0));
+                    b.barrier(BarrierId(0));
+                    if l + 1 < levels {
+                        let fine = mg_grids[l].clone();
+                        let coarse = mg_grids[l + 1].clone();
+                        b.block(move |_ctx, out| {
+                            // Restrict: read my fine rows, write my coarse
+                            // rows.
+                            let (f0, f1) = block_range(fine.n, fine.ntasks, task);
+                            for r in f0..f1 {
+                                let (reg, off) = fine.row(r);
+                                touch_shared(out, reg, off, fine.row_bytes, false, comp / 2);
+                            }
+                            let (c0, c1) = block_range(coarse.n, coarse.ntasks, task);
+                            for r in c0..c1 {
+                                let (reg, off) = coarse.row(r);
+                                touch_shared(out, reg, off, coarse.row_bytes, true, 0);
+                            }
+                        });
+                        b.barrier(BarrierId(0));
+                    }
+                }
+                // Up: prolong + smooth.
+                for l in (0..levels.saturating_sub(1)).rev() {
+                    let fine = mg_grids[l].clone();
+                    let coarse = mg_grids[l + 1].clone();
+                    b.block(move |_ctx, out| {
+                        let (c0, c1) = block_range(coarse.n, coarse.ntasks, task);
+                        for r in c0..c1 {
+                            let (reg, off) = coarse.row(r);
+                            touch_shared(out, reg, off, coarse.row_bytes, false, comp / 2);
+                        }
+                        let (f0, f1) = block_range(fine.n, fine.ntasks, task);
+                        for r in f0..f1 {
+                            let (reg, off) = fine.row(r);
+                            touch_shared(out, reg, off, fine.row_bytes, true, 0);
+                        }
+                    });
+                    b.barrier(BarrierId(0));
+                    let fine2 = mg_grids[l].clone();
+                    b.block(move |_ctx, out| fine2.sweep(out, task, comp));
+                    b.barrier(BarrierId(0));
+                }
+            });
+            b.build("ocean")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slipstream_prog::{InstanceId, Op};
+
+    #[test]
+    fn many_barriers_per_step() {
+        let w = Ocean::quick();
+        let mut layout = Layout::new();
+        let build = w.instantiate(4, &mut layout);
+        let prog = build(&mut layout, InstanceId(0), 0);
+        let barriers = prog.iter().filter(|o| matches!(o, Op::Barrier(_))).count() as u64;
+        // grids + levels + (levels-1 restricts) + (levels-1)*(prolong+smooth)
+        let per_step = w.grids as u64 + w.levels as u64 + (w.levels as u64 - 1) * 3;
+        assert_eq!(barriers, w.steps * per_step);
+    }
+
+    #[test]
+    fn coarse_levels_leave_some_tasks_nearly_idle() {
+        // At 16 tasks a 9-row coarse grid gives several tasks no rows:
+        // their sweep emits no ops, but they still hit the barrier.
+        let w = Ocean::quick();
+        let mut layout = Layout::new();
+        let build = w.instantiate(16, &mut layout);
+        let hi = build(&mut layout, InstanceId(0), 0).iter().count();
+        let lo = build(&mut layout, InstanceId(15), 15).iter().count();
+        assert!(lo < hi, "task 15 ({lo} ops) should do less than task 0 ({hi} ops)");
+    }
+
+    #[test]
+    fn deterministic_program_generation() {
+        let w = Ocean::quick();
+        let mut layout = Layout::new();
+        let build = w.instantiate(2, &mut layout);
+        let a: Vec<Op> = build(&mut layout, InstanceId(0), 0).iter().collect();
+        let b: Vec<Op> = build(&mut layout, InstanceId(1), 0).iter().collect();
+        assert_eq!(a, b, "same task, different instance: identical shared pattern");
+    }
+}

@@ -1,0 +1,183 @@
+//! Red-black successive over-relaxation on a 2D grid (1024 x 1024 in the
+//! paper).
+//!
+//! The grid is partitioned into contiguous row blocks, one per task
+//! (first-touch pages). Each iteration performs two half-sweeps (red
+//! points, then black points), each ending in a barrier. A half-sweep over
+//! row `r` reads rows `r-1`, `r`, `r+1` and writes row `r`; only the two
+//! boundary rows of each block are communicated, making SOR the classic
+//! nearest-neighbour producer-consumer kernel. The paper finds SOR at this
+//! size has reached its scalability limit (double buys nothing) while
+//! slipstream gains ~14%.
+
+use slipstream_core::{TaskBuilderFn, Workload};
+use slipstream_prog::{ArrayRef, BarrierId, Layout, ProgBuilder};
+
+use crate::util::{block_range, touch_shared};
+
+/// Row-block red-black SOR.
+#[derive(Debug, Clone)]
+pub struct Sor {
+    /// Grid is `n x n` doubles.
+    pub n: u64,
+    /// Full iterations (each = 2 half-sweeps).
+    pub iters: u64,
+    /// Compute cycles per grid line per half-sweep (4 points updated per
+    /// 8-element line, ~5 flops plus addressing each).
+    pub cycles_per_line: u32,
+}
+
+impl Sor {
+    /// Paper configuration: 1024 x 1024.
+    pub fn paper() -> Sor {
+        Sor { n: 1024, iters: 3, cycles_per_line: 60 }
+    }
+
+    /// Reduced size for tests and smoke runs.
+    pub fn quick() -> Sor {
+        Sor { n: 256, iters: 3, cycles_per_line: 60 }
+    }
+}
+
+impl Workload for Sor {
+    fn name(&self) -> &str {
+        "SOR"
+    }
+
+    fn instantiate(&self, ntasks: usize, layout: &mut Layout) -> TaskBuilderFn {
+        let n = self.n;
+        let row_bytes = n * 8;
+        // The red and black points live in separate arrays (the standard
+        // layout for parallel red-black SOR: it avoids false sharing
+        // between the colours). A half-sweep reads one colour — data
+        // finalized in the *previous* half-sweep, which is what makes the
+        // A-stream's one-session-ahead prefetches timely — and writes the
+        // other. Each colour array is n x n/2 doubles, row-blocked with
+        // first-touch pages.
+        let row_bytes = row_bytes / 2; // half the points per colour row
+        let alloc = |layout: &mut Layout, which: &str| -> Vec<ArrayRef> {
+            (0..ntasks)
+                .map(|t| {
+                    let (r0, r1) = block_range(n, ntasks, t);
+                    layout.shared_owned(
+                        &format!("sor.{which}{t}"),
+                        (r1 - r0).max(1) * row_bytes,
+                        t,
+                    )
+                })
+                .collect()
+        };
+        let grid0 = alloc(layout, "red");
+        let grid1 = alloc(layout, "black");
+        let iters = self.iters;
+        let cpl = self.cycles_per_line;
+        Box::new(move |_layout, _inst, task| {
+            let (my0, my1) = block_range(n, ntasks, task);
+            let grids = [grid0.clone(), grid1.clone()];
+            let locate = move |g: usize, row: u64| -> (ArrayRef, u64) {
+                // (region, byte offset) of a global row in grid g.
+                let mut t = 0;
+                loop {
+                    let (s, e) = block_range(n, ntasks, t);
+                    if row >= s && row < e {
+                        return (grids[g][t], (row - s) * row_bytes);
+                    }
+                    t += 1;
+                }
+            };
+            let mut b = ProgBuilder::new();
+            b.for_n(iters * 2, move |b| {
+                // One half-sweep (red or black): read the stencil from the
+                // source grid, write updates into the destination grid.
+                let locate = locate.clone();
+                b.block(move |ctx, out| {
+                    let src = (ctx.i(0) % 2) as usize;
+                    let dst = src ^ 1;
+                    for r in my0..my1 {
+                        // Boundary rows come from the neighbours' blocks;
+                        // interior neighbour rows are my own and stream in
+                        // with the sweep.
+                        if r > 0 && r == my0 {
+                            let (reg, off) = locate(src, r - 1);
+                            touch_shared(out, reg, off, row_bytes, false, 0);
+                        }
+                        if r + 1 < n && r + 1 == my1 {
+                            let (reg, off) = locate(src, r + 1);
+                            touch_shared(out, reg, off, row_bytes, false, 0);
+                        }
+                        let (reg, off) = locate(src, r);
+                        touch_shared(out, reg, off, row_bytes, false, cpl);
+                        let (dreg, doff) = locate(dst, r);
+                        touch_shared(out, dreg, doff, row_bytes, true, 0);
+                    }
+                });
+                b.barrier(BarrierId(0));
+            });
+            b.build("sor")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slipstream_prog::{InstanceId, Op};
+
+    #[test]
+    fn task_programs_cover_disjoint_row_blocks() {
+        let w = Sor { n: 64, iters: 1, cycles_per_line: 4 };
+        let mut layout = Layout::new();
+        let build = w.instantiate(4, &mut layout);
+        let mut all_stores: Vec<Vec<u64>> = Vec::new();
+        for t in 0..4 {
+            let prog = build(&mut layout, InstanceId(t as u32), t);
+            let stores: Vec<u64> = prog
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Store { addr, .. } => Some(addr.0),
+                    _ => None,
+                })
+                .collect();
+            assert!(!stores.is_empty());
+            all_stores.push(stores);
+        }
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                for addr in &all_stores[a] {
+                    assert!(!all_stores[b].contains(addr), "tasks {a} and {b} both write {addr:#x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_count_matches_iterations() {
+        let w = Sor { n: 32, iters: 2, cycles_per_line: 4 };
+        let mut layout = Layout::new();
+        let build = w.instantiate(2, &mut layout);
+        let prog = build(&mut layout, InstanceId(0), 0);
+        let barriers = prog.iter().filter(|o| matches!(o, Op::Barrier(_))).count();
+        assert_eq!(barriers, 4, "2 iterations x 2 half-sweeps");
+    }
+
+    #[test]
+    fn boundary_rows_are_read_from_neighbours() {
+        let w = Sor { n: 64, iters: 1, cycles_per_line: 4 };
+        let mut layout = Layout::new();
+        let build = w.instantiate(4, &mut layout);
+        // Task 1 must read lines inside task 0's and task 2's regions.
+        let prog = build(&mut layout, InstanceId(1), 1);
+        let loads: Vec<u64> = prog
+            .iter()
+            .filter_map(|op| match op {
+                Op::Load { addr, .. } => Some(addr.0),
+                _ => None,
+            })
+            .collect();
+        let regions = layout.regions();
+        let r0 = &regions[0];
+        let r2 = &regions[2];
+        assert!(loads.iter().any(|a| *a >= r0.base.0 && *a < r0.end().0), "reads task 0 rows");
+        assert!(loads.iter().any(|a| *a >= r2.base.0 && *a < r2.end().0), "reads task 2 rows");
+    }
+}

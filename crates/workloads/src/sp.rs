@@ -1,0 +1,191 @@
+//! NAS SP (scalar penta-diagonal ADI solver), 16 x 16 x 16 in the paper.
+//!
+//! Each timestep computes the right-hand side (a stencil needing
+//! z-neighbour boundary planes) and then performs ADI line sweeps in x, y,
+//! and z. With a z-plane partition the x and y sweeps are local, but the z
+//! sweep runs along lines that cross every task's planes — an all-to-all
+//! phase — and every phase ends in a barrier. At this tiny class size the
+//! per-task work between barriers is small, so SP becomes latency- and
+//! sync-bound quickly (Figure 4), and the paper reports one of the largest
+//! SI gains (+15%) for it.
+
+use slipstream_core::{TaskBuilderFn, Workload};
+use slipstream_prog::{ArrayRef, BarrierId, Layout, ProgBuilder};
+
+use crate::util::{block_range, touch_shared, LINE};
+
+/// The SP application kernel.
+#[derive(Debug, Clone)]
+pub struct Sp {
+    /// Grid edge (problem is `n^3`, 5 solution variables per point).
+    pub n: u64,
+    /// Timesteps.
+    pub steps: u64,
+    /// Compute cycles per point per sweep (penta-diagonal solve work).
+    pub cycles_per_point: u32,
+}
+
+impl Sp {
+    /// Paper configuration: 16 x 16 x 16.
+    pub fn paper() -> Sp {
+        Sp { n: 16, steps: 4, cycles_per_point: 40 }
+    }
+
+    /// Reduced size for tests and smoke runs.
+    pub fn quick() -> Sp {
+        Sp { n: 8, steps: 2, cycles_per_point: 40 }
+    }
+}
+
+impl Workload for Sp {
+    fn name(&self) -> &str {
+        "SP"
+    }
+
+    fn instantiate(&self, ntasks: usize, layout: &mut Layout) -> TaskBuilderFn {
+        let n = self.n;
+        let vars = 5u64;
+        let plane_bytes = n * n * vars * 8; // all 5 vars, one z-plane
+        let alloc = |layout: &mut Layout, name: &str| -> Vec<ArrayRef> {
+            (0..ntasks)
+                .map(|t| {
+                    let (z0, z1) = block_range(n, ntasks, t);
+                    layout.shared_owned(&format!("sp.{name}{t}"), (z1 - z0).max(1) * plane_bytes, t)
+                })
+                .collect()
+        };
+        let u = alloc(layout, "u");
+        let rhs = alloc(layout, "rhs");
+        let steps = self.steps;
+        let cpp = self.cycles_per_point;
+        Box::new(move |_layout, _inst, task| {
+            let u = u.clone();
+            let rhs = rhs.clone();
+            let plane_of = move |arr: &[ArrayRef], z: u64| -> (ArrayRef, u64) {
+                let mut t = 0;
+                loop {
+                    let (s, e) = block_range(n, ntasks, t);
+                    if z >= s && z < e {
+                        return (arr[t], (z - s) * plane_bytes);
+                    }
+                    t += 1;
+                }
+            };
+            let (z0, z1) = block_range(n, ntasks, task);
+            // Points per plane, cycles per line of a plane.
+            let comp_line = (cpp as u64 * (LINE / 8)) as u32;
+            let mut b = ProgBuilder::new();
+            b.for_n(steps, move |b| {
+                // compute_rhs: stencil over my planes with z-ghosts.
+                let u1 = u.clone();
+                let rhs1 = rhs.clone();
+                b.block(move |_ctx, out| {
+                    for z in z0..z1 {
+                        if z > 0 && z == z0 {
+                            let (reg, off) = plane_of(&u1, z - 1);
+                            touch_shared(out, reg, off, plane_bytes, false, 0);
+                        }
+                        if z + 1 < n && z + 1 == z1 {
+                            let (reg, off) = plane_of(&u1, z + 1);
+                            touch_shared(out, reg, off, plane_bytes, false, 0);
+                        }
+                        let (ureg, uoff) = plane_of(&u1, z);
+                        touch_shared(out, ureg, uoff, plane_bytes, false, comp_line / 2);
+                        let (rreg, roff) = plane_of(&rhs1, z);
+                        touch_shared(out, rreg, roff, plane_bytes, true, 0);
+                    }
+                });
+                b.barrier(BarrierId(0));
+                // x- and y-sweeps: lines lie inside my planes (local).
+                for _dir in 0..2 {
+                    let u2 = u.clone();
+                    let rhs2 = rhs.clone();
+                    b.block(move |_ctx, out| {
+                        for z in z0..z1 {
+                            let (rreg, roff) = plane_of(&rhs2, z);
+                            touch_shared(out, rreg, roff, plane_bytes, false, comp_line);
+                            let (ureg, uoff) = plane_of(&u2, z);
+                            touch_shared(out, ureg, uoff, plane_bytes, true, 0);
+                        }
+                    });
+                    b.barrier(BarrierId(0));
+                }
+                // z-sweep: my (x, y) columns cross every task's planes.
+                let u3 = u.clone();
+                b.block(move |_ctx, out| {
+                    let cols = n * n;
+                    let (c0, c1) = block_range(cols, ntasks, task);
+                    for col in c0..c1 {
+                        for z in 0..n {
+                            let (reg, off) = plane_of(&u3, z);
+                            // One element of each var; one line touch
+                            // covers it.
+                            let elem = off + col * vars * 8;
+                            touch_shared(out, reg, elem, vars * 8, false, cpp);
+                            touch_shared(out, reg, elem, vars * 8, true, 0);
+                        }
+                    }
+                });
+                b.barrier(BarrierId(0));
+            });
+            b.build("sp")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slipstream_prog::{InstanceId, Op};
+
+    #[test]
+    fn four_barriers_per_step() {
+        let w = Sp::quick();
+        let mut layout = Layout::new();
+        let build = w.instantiate(2, &mut layout);
+        let prog = build(&mut layout, InstanceId(0), 0);
+        let barriers = prog.iter().filter(|o| matches!(o, Op::Barrier(_))).count() as u64;
+        assert_eq!(barriers, 4 * w.steps);
+    }
+
+    #[test]
+    fn z_sweep_crosses_all_plane_owners() {
+        let w = Sp::quick();
+        let mut layout = Layout::new();
+        let ntasks = 4;
+        let build = w.instantiate(ntasks, &mut layout);
+        let prog = build(&mut layout, InstanceId(0), 0);
+        let stores: std::collections::HashSet<u64> = prog
+            .iter()
+            .filter_map(|op| match op {
+                Op::Store { addr, .. } => Some(addr.0),
+                _ => None,
+            })
+            .collect();
+        // u regions are the first ntasks regions; the z-sweep writes into
+        // every one of them.
+        for (i, r) in layout.regions().iter().take(ntasks).enumerate() {
+            assert!(
+                stores.iter().any(|a| *a >= r.base.0 && *a < r.end().0),
+                "z-sweep never writes planes of task {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn writes_conflict_free_within_z_sweep() {
+        // Different tasks' z-sweeps touch different (x, y) columns.
+        let w = Sp::quick();
+        let mut layout = Layout::new();
+        let build = w.instantiate(2, &mut layout);
+        let p0: std::collections::HashSet<u64> = build(&mut layout, InstanceId(0), 0)
+            .iter()
+            .skip_while(|o| !matches!(o, Op::Barrier(_)))
+            .filter_map(|op| match op {
+                Op::Store { addr, .. } => Some(addr.0),
+                _ => None,
+            })
+            .collect();
+        assert!(!p0.is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! WATER-NSQUARED (Splash-2), 512 molecules in the paper.
+//!
+//! Molecular dynamics of water with an O(n^2) all-pairs force computation.
+//! Molecules are block-owned; each timestep runs predict (own molecules),
+//! inter-molecular forces (each task loads every partner molecule's
+//! position and accumulates partial forces locally, then merges them into
+//! the shared force array under per-molecule locks), and intra-molecular
+//! correction — with barriers between phases. The lock-protected force
+//! merge makes Water-NS the suite's migratory-sharing benchmark: the paper
+//! reports its largest slipstream gain (19% prefetch-only, +12% more with
+//! self-invalidation). Uses the 128 KB L2 (Table 1 footnote).
+
+use slipstream_core::{TaskBuilderFn, Workload};
+use slipstream_prog::{ArrayRef, BarrierId, Layout, LockId, ProgBuilder};
+
+use crate::util::{block_range, touch_shared};
+
+/// The O(n^2) water simulation.
+#[derive(Debug, Clone)]
+pub struct WaterNs {
+    /// Number of molecules.
+    pub nm: u64,
+    /// Timesteps.
+    pub steps: u64,
+    /// Compute cycles per molecule pair (inter-molecular potential).
+    pub cycles_per_pair: u32,
+    /// Distinct force locks (Splash-2 uses per-molecule locks; molecules
+    /// hash onto this many).
+    pub nlocks: u32,
+}
+
+impl WaterNs {
+    /// Paper configuration: 512 molecules.
+    pub fn paper() -> WaterNs {
+        WaterNs { nm: 512, steps: 2, cycles_per_pair: 65, nlocks: 128 }
+    }
+
+    /// Reduced size for tests and smoke runs.
+    pub fn quick() -> WaterNs {
+        WaterNs { nm: 128, steps: 2, cycles_per_pair: 65, nlocks: 32 }
+    }
+}
+
+impl Workload for WaterNs {
+    fn name(&self) -> &str {
+        "WATER-NS"
+    }
+
+    fn small_l2(&self) -> bool {
+        true
+    }
+
+    fn instantiate(&self, ntasks: usize, layout: &mut Layout) -> TaskBuilderFn {
+        let nm = self.nm;
+        // One molecule record, as in Splash-2's VAR array: predictor
+        // derivatives for 3 atoms x 3 coordinates plus forces — ~700 bytes.
+        // Layout: lines 0-1 positions (read by the pair loop), lines 2-3
+        // forces (lock-merged), lines 4-10 predictor state (owner only).
+        let mol_bytes = 11 * 64u64;
+        let pos_off = 0u64;
+        let pos_bytes = 2 * 64u64;
+        let frc_off = 2 * 64u64;
+        let frc_bytes = 2 * 64u64;
+        let mols: Vec<ArrayRef> = (0..ntasks)
+            .map(|t| {
+                let (m0, m1) = block_range(nm, ntasks, t);
+                layout.shared_owned(&format!("water.var{t}"), (m1 - m0).max(1) * mol_bytes, t)
+            })
+            .collect();
+        let steps = self.steps;
+        let cpp = self.cycles_per_pair;
+        let nlocks = self.nlocks;
+        Box::new(move |layout, inst, task| {
+            let (my0, my1) = block_range(nm, ntasks, task);
+            let scratch = layout.private(inst, "water.partial", (my1 - my0).max(1) * mol_bytes);
+            let mols = mols.clone();
+            let locate = move |arr: &[ArrayRef], m: u64| -> (ArrayRef, u64) {
+                let mut t = 0;
+                loop {
+                    let (s, e) = block_range(nm, ntasks, t);
+                    if m >= s && m < e {
+                        return (arr[t], (m - s) * mol_bytes);
+                    }
+                    t += 1;
+                }
+            };
+            let mut b = ProgBuilder::new();
+            b.for_n(steps, move |b| {
+                // Predict: advance own molecules — rewrites the whole
+                // predictor record (the shared position/force lines need
+                // upgrades, since consumers hold them from last step).
+                let mols_p = mols.clone();
+                b.block(move |_ctx, out| {
+                    for m in my0..my1 {
+                        let (reg, off) = locate(&mols_p, m);
+                        touch_shared(out, reg, off, mol_bytes, false, 24);
+                        touch_shared(out, reg, off, mol_bytes, true, 0);
+                    }
+                });
+                b.barrier(BarrierId(0));
+                // Inter-molecular forces: all pairs (i, j), i owned, j > i.
+                // Partial forces accumulate in private scratch; the merge
+                // into the shared force array is lock-protected.
+                let mols_f = mols.clone();
+                b.block(move |_ctx, out| {
+                    for i in my0..my1 {
+                        let (ireg, ioff) = locate(&mols_f, i);
+                        touch_shared(out, ireg, ioff + pos_off, pos_bytes, false, 0);
+                        // Balanced half-ring pairing, as in Splash-2: each
+                        // molecule interacts with the nm/2 molecules that
+                        // follow it around the ring, so every task computes
+                        // the same number of pairs.
+                        for k in 1..=(nm / 2) {
+                            let j = (i + k) % nm;
+                            let (reg, off) = locate(&mols_f, j);
+                            touch_shared(out, reg, off + pos_off, pos_bytes, false, 0);
+                            out.push(slipstream_prog::Op::Compute(cpp));
+                        }
+                        // Accumulate partial force for i privately.
+                        crate::util::touch(
+                            out,
+                            scratch,
+                            (i - my0) * mol_bytes,
+                            mol_bytes,
+                            true,
+                            slipstream_prog::Space::Private,
+                            0,
+                        );
+                    }
+                });
+                // Merge partial forces under per-molecule locks. A task
+                // interacted with the molecules in its half-ring window
+                // (its own block plus the nm/2 molecules after it), so only
+                // those forces are updated. Tasks start at their own block
+                // and walk forward, as in Splash-2, to avoid lock convoys.
+                let window = (my1 - my0) + nm / 2;
+                for k in 0..window.min(nm) {
+                    let m = (my0 + k) % nm;
+                    let lock = LockId((m % nlocks as u64) as u32);
+                    let (reg, off) = locate(&mols, m);
+                    b.lock(lock);
+                    b.block(move |_ctx, out| {
+                        touch_shared(out, reg, off + frc_off, frc_bytes, false, 4);
+                        touch_shared(out, reg, off + frc_off, frc_bytes, true, 0);
+                    });
+                    b.unlock(lock);
+                }
+                b.barrier(BarrierId(0));
+                // Intra-molecular terms + correction on own molecules:
+                // read the merged forces, rewrite the record.
+                let mols_c = mols.clone();
+                b.block(move |_ctx, out| {
+                    for m in my0..my1 {
+                        let (reg, off) = locate(&mols_c, m);
+                        touch_shared(out, reg, off + frc_off, frc_bytes, false, 0);
+                        touch_shared(out, reg, off, mol_bytes, false, 40);
+                        touch_shared(out, reg, off, mol_bytes, true, 0);
+                    }
+                });
+                b.barrier(BarrierId(0));
+            });
+            b.build("water-ns")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slipstream_prog::{InstanceId, Op};
+
+    #[test]
+    fn pair_loop_reads_all_partners() {
+        let w = WaterNs { nm: 32, steps: 1, cycles_per_pair: 10, nlocks: 8 };
+        let mut layout = Layout::new();
+        let build = w.instantiate(4, &mut layout);
+        let prog = build(&mut layout, InstanceId(0), 0);
+        // Task 0 owns molecules 0..8; the half-ring reaches molecules up
+        // to (7 + nm/2) = 23, i.e. the position blocks of tasks 0..3's
+        // first three blocks at least.
+        let loads: std::collections::HashSet<u64> = prog
+            .iter()
+            .filter_map(|op| match op {
+                Op::Load { addr, space: slipstream_prog::Space::Shared } => Some(addr.0),
+                _ => None,
+            })
+            .collect();
+        let mut reached = 0;
+        for t in 0..4usize {
+            let r = &layout.regions()[t]; // pos regions come first
+            if loads.iter().any(|a| *a >= r.base.0 && *a < r.end().0) {
+                reached += 1;
+            }
+        }
+        assert!(reached >= 3, "half-ring should span most position blocks, got {reached}");
+    }
+
+    #[test]
+    fn lock_usage_is_balanced_and_paired() {
+        let w = WaterNs { nm: 32, steps: 1, cycles_per_pair: 10, nlocks: 8 };
+        let mut layout = Layout::new();
+        let build = w.instantiate(2, &mut layout);
+        let prog = build(&mut layout, InstanceId(0), 0);
+        let locks = prog.iter().filter(|o| matches!(o, Op::Lock(_))).count();
+        let unlocks = prog.iter().filter(|o| matches!(o, Op::Unlock(_))).count();
+        assert_eq!(locks, unlocks);
+        assert_eq!(locks as u64, w.nm, "one merge per molecule per step");
+    }
+
+    #[test]
+    fn uses_small_l2() {
+        assert!(WaterNs::paper().small_l2());
+    }
+
+    #[test]
+    fn three_barriers_per_step() {
+        let w = WaterNs::quick();
+        let mut layout = Layout::new();
+        let build = w.instantiate(2, &mut layout);
+        let prog = build(&mut layout, InstanceId(0), 0);
+        let barriers = prog.iter().filter(|o| matches!(o, Op::Barrier(_))).count() as u64;
+        assert_eq!(barriers, 3 * w.steps);
+    }
+}

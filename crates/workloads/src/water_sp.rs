@@ -1,0 +1,196 @@
+//! WATER-SPATIAL (Splash-2), 512 molecules in the paper.
+//!
+//! The same physics as WATER-NSQUARED but with a 3D cell-list (spatial)
+//! decomposition: molecules live in boxes, and forces only involve
+//! molecules in the 26 neighbouring boxes, so communication is surface-
+//! to-volume limited. The paper's Figure 4 shows Water-SP still scaling at
+//! 16 CMPs — it is (with LU) the benchmark slipstream should *not* be
+//! used for. Uses the 128 KB L2 (Table 1 footnote).
+
+use slipstream_core::{TaskBuilderFn, Workload};
+use slipstream_prog::{ArrayRef, BarrierId, Layout, Op, ProgBuilder};
+
+use crate::util::{block_range, touch_shared};
+
+/// The spatial (cell-list) water simulation.
+#[derive(Debug, Clone)]
+pub struct WaterSp {
+    /// Number of molecules.
+    pub nm: u64,
+    /// Box grid edge (boxes are `side^3`).
+    pub side: u64,
+    /// Timesteps.
+    pub steps: u64,
+    /// Compute cycles per molecule pair.
+    pub cycles_per_pair: u32,
+}
+
+impl WaterSp {
+    /// Paper configuration: 512 molecules in a 4x4x4 box grid.
+    pub fn paper() -> WaterSp {
+        WaterSp { nm: 512, side: 4, steps: 2, cycles_per_pair: 160 }
+    }
+
+    /// Reduced size for tests and smoke runs.
+    pub fn quick() -> WaterSp {
+        WaterSp { nm: 128, side: 3, steps: 2, cycles_per_pair: 160 }
+    }
+
+    fn nboxes(&self) -> u64 {
+        self.side * self.side * self.side
+    }
+
+    fn mols_per_box(&self) -> u64 {
+        self.nm.div_ceil(self.nboxes())
+    }
+}
+
+impl Workload for WaterSp {
+    fn name(&self) -> &str {
+        "WATER-SP"
+    }
+
+    fn small_l2(&self) -> bool {
+        true
+    }
+
+    fn instantiate(&self, ntasks: usize, layout: &mut Layout) -> TaskBuilderFn {
+        let side = self.side;
+        let nboxes = self.nboxes();
+        let box_bytes = self.mols_per_box() * 64; // one line per molecule
+        // Boxes linearized z-major, block-owned.
+        let boxes: Vec<ArrayRef> = (0..ntasks)
+            .map(|t| {
+                let (b0, b1) = block_range(nboxes, ntasks, t);
+                layout.shared_owned(&format!("watersp.box{t}"), (b1 - b0).max(1) * box_bytes, t)
+            })
+            .collect();
+        let steps = self.steps;
+        let cpp = self.cycles_per_pair;
+        let mpb = self.mols_per_box();
+        Box::new(move |_layout, _inst, task| {
+            let boxes = boxes.clone();
+            let locate = move |bx: u64| -> (ArrayRef, u64) {
+                let mut t = 0;
+                loop {
+                    let (s, e) = block_range(nboxes, ntasks, t);
+                    if bx >= s && bx < e {
+                        return (boxes[t], (bx - s) * box_bytes);
+                    }
+                    t += 1;
+                }
+            };
+            let (my0, my1) = block_range(nboxes, ntasks, task);
+            // 27-neighbourhood (with clamping at the walls).
+            let neighbours = move |bx: u64| -> Vec<u64> {
+                let (z, rem) = (bx / (side * side), bx % (side * side));
+                let (y, x) = (rem / side, rem % side);
+                let mut v = Vec::with_capacity(27);
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let (nx, ny, nz) =
+                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            if (0..side as i64).contains(&nx)
+                                && (0..side as i64).contains(&ny)
+                                && (0..side as i64).contains(&nz)
+                            {
+                                v.push((nz as u64 * side + ny as u64) * side + nx as u64);
+                            }
+                        }
+                    }
+                }
+                v
+            };
+            let mut b = ProgBuilder::new();
+            b.for_n(steps, move |b| {
+                // Predict: advance molecules in my boxes.
+                let locate1 = locate.clone();
+                b.block(move |_ctx, out| {
+                    let locate = &locate1;
+                    for bx in my0..my1 {
+                        let (reg, off) = locate(bx);
+                        touch_shared(out, reg, off, box_bytes, false, 90);
+                        touch_shared(out, reg, off, box_bytes, true, 0);
+                    }
+                });
+                b.barrier(BarrierId(0));
+                // Inter-molecular forces: my boxes against their 27-box
+                // neighbourhoods.
+                let locate2 = locate.clone();
+                b.block(move |_ctx, out| {
+                    let locate = &locate2;
+                    for bx in my0..my1 {
+                        let (reg, off) = locate(bx);
+                        touch_shared(out, reg, off, box_bytes, false, 0);
+                        for nb in neighbours(bx) {
+                            let (nreg, noff) = locate(nb);
+                            touch_shared(out, nreg, noff, box_bytes, false, 0);
+                            // ~mpb^2 / 2 pairs per box pair.
+                            let pairs = (mpb * mpb / 2).max(1);
+                            out.push(Op::Compute(pairs as u32 * cpp));
+                        }
+                        touch_shared(out, reg, off, box_bytes, true, 0);
+                    }
+                });
+                b.barrier(BarrierId(0));
+                // Correct + box reassignment bookkeeping on my boxes.
+                let locate3 = locate.clone();
+                b.block(move |_ctx, out| {
+                    let locate = &locate3;
+                    for bx in my0..my1 {
+                        let (reg, off) = locate(bx);
+                        touch_shared(out, reg, off, box_bytes, false, 160);
+                        touch_shared(out, reg, off, box_bytes, true, 0);
+                    }
+                });
+                b.barrier(BarrierId(0));
+            });
+            b.build("water-sp")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slipstream_prog::InstanceId;
+
+    #[test]
+    fn neighbourhood_reads_stay_near() {
+        let w = WaterSp::quick();
+        let mut layout = Layout::new();
+        let ntasks = 4;
+        let build = w.instantiate(ntasks, &mut layout);
+        // Compared to Water-NS, a task must NOT read every other region
+        // necessarily; but it must read at least one box beyond its own.
+        let prog = build(&mut layout, InstanceId(0), 0);
+        let own = &layout.regions()[0];
+        let foreign = prog
+            .iter()
+            .filter_map(|op| match op {
+                Op::Load { addr, .. } => Some(addr.0),
+                _ => None,
+            })
+            .filter(|a| !(*a >= own.base.0 && *a < own.end().0))
+            .count();
+        assert!(foreign > 0, "must read neighbour boxes from other tasks");
+    }
+
+    #[test]
+    fn three_barriers_per_step() {
+        let w = WaterSp::quick();
+        let mut layout = Layout::new();
+        let build = w.instantiate(2, &mut layout);
+        let prog = build(&mut layout, InstanceId(0), 0);
+        let barriers = prog.iter().filter(|o| matches!(o, Op::Barrier(_))).count() as u64;
+        assert_eq!(barriers, 3 * w.steps);
+    }
+
+    #[test]
+    fn box_geometry() {
+        let w = WaterSp::paper();
+        assert_eq!(w.nboxes(), 64);
+        assert_eq!(w.mols_per_box(), 8);
+    }
+}

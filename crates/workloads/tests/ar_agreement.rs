@@ -1,0 +1,118 @@
+//! The invariant slipstream mode rests on (§3.1 of the paper): the
+//! A-stream — built with a different instance id, hence different private
+//! storage — must generate exactly the same *shared* address stream and
+//! synchronization sequence as its R-stream, for every kernel.
+
+use slipstream_core::Workload;
+use slipstream_prog::{InstanceId, Layout, Op, Space};
+use slipstream_workloads::quick_suite;
+
+/// Shared ops and sync ops, with private accesses erased.
+fn visible_stream(w: &dyn Workload, ntasks: usize, inst: u32, task: usize) -> Vec<Op> {
+    let mut layout = Layout::new();
+    let build = w.instantiate(ntasks, &mut layout);
+    build(&mut layout, InstanceId(inst), task)
+        .iter()
+        .filter(|op| match op {
+            Op::Load { space, .. } | Op::Store { space, .. } => *space == Space::Shared,
+            _ => true,
+        })
+        .map(|op| match op {
+            // Compute costs may be fused differently around elided private
+            // ops; only the shared/sync structure must agree.
+            Op::Compute(_) => Op::Compute(0),
+            other => other,
+        })
+        .collect()
+}
+
+#[test]
+fn a_and_r_instances_agree_on_shared_streams() {
+    for w in quick_suite() {
+        for task in [0usize, 1, 3] {
+            let r_stream = visible_stream(w.as_ref(), 4, 2 * task as u32, task);
+            let a_stream = visible_stream(w.as_ref(), 4, 2 * task as u32 + 1, task);
+            assert_eq!(
+                r_stream,
+                a_stream,
+                "{} task {task}: A- and R-stream shared streams diverge",
+                w.name()
+            );
+            assert!(!r_stream.is_empty(), "{} produced an empty program", w.name());
+        }
+    }
+}
+
+#[test]
+fn every_kernel_has_session_boundaries() {
+    // A-R synchronization needs sessions; every kernel must end sessions
+    // with barriers or event waits.
+    for w in quick_suite() {
+        let stream = visible_stream(w.as_ref(), 2, 0, 0);
+        let sessions = stream.iter().filter(|o| o.ends_session()).count();
+        assert!(sessions >= 2, "{}: only {sessions} session boundaries", w.name());
+    }
+}
+
+#[test]
+fn lock_nesting_is_balanced_in_every_kernel() {
+    for w in quick_suite() {
+        for task in 0..4 {
+            let stream = visible_stream(w.as_ref(), 4, task as u32, task);
+            let mut depth = 0i64;
+            for op in &stream {
+                match op {
+                    Op::Lock(_) => depth += 1,
+                    Op::Unlock(_) => {
+                        depth -= 1;
+                        assert!(depth >= 0, "{}: unlock without lock", w.name());
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(depth, 0, "{} task {task}: unbalanced locks", w.name());
+        }
+    }
+}
+
+#[test]
+fn barrier_counts_match_across_tasks() {
+    // All tasks must arrive at every barrier (SPMD): equal barrier counts.
+    for w in quick_suite() {
+        let counts: Vec<usize> = (0..4)
+            .map(|t| {
+                visible_stream(w.as_ref(), 4, t as u32, t)
+                    .iter()
+                    .filter(|o| matches!(o, Op::Barrier(_)))
+                    .count()
+            })
+            .collect();
+        assert!(
+            counts.windows(2).all(|w2| w2[0] == w2[1]),
+            "{}: unequal barrier counts {counts:?}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn event_posts_cover_event_waits() {
+    // Semaphore-style events: across all tasks, posts must be >= waits for
+    // every event id, or the machine would deadlock.
+    use std::collections::HashMap;
+    for w in quick_suite() {
+        let mut posts: HashMap<u32, i64> = HashMap::new();
+        for t in 0..4 {
+            for op in visible_stream(w.as_ref(), 4, t as u32, t) {
+                match op {
+                    Op::EventPost(e) => *posts.entry(e.0).or_default() += 1,
+                    Op::EventWait(e) => *posts.entry(e.0).or_default() -= 1,
+                    _ => {}
+                }
+            }
+        }
+        for (e, balance) in posts {
+            assert!(balance >= 0, "{}: event {e} waited more than posted", w.name());
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! End-to-end: every kernel of the suite runs to completion in every
+//! execution mode, deterministically, without A-stream recoveries.
+
+use slipstream_core::{run, ArSyncMode, ExecMode, RunSpec, SlipstreamConfig};
+use slipstream_core::StreamRole;
+use slipstream_workloads::{by_name, quick_suite};
+
+#[test]
+fn quick_suite_runs_in_all_modes() {
+    for w in quick_suite() {
+        for mode in [ExecMode::Single, ExecMode::Double, ExecMode::Slipstream] {
+            let r = run(w.as_ref(), &RunSpec::new(2, mode));
+            assert!(r.exec_cycles > 0, "{} in {mode}", w.name());
+            assert_eq!(r.recoveries, 0, "{} deviated in {mode}", w.name());
+            for s in &r.streams {
+                assert!(
+                    s.breakdown.total() <= s.finish + 1,
+                    "{}: stream accounting exceeds finish time",
+                    w.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quick_suite_runs_at_4_nodes_slipstream_all_ar_modes() {
+    for w in quick_suite() {
+        for ar in ArSyncMode::ALL {
+            let spec =
+                RunSpec::new(4, ExecMode::Slipstream).with_slip(SlipstreamConfig::prefetch_only(ar));
+            let r = run(w.as_ref(), &spec);
+            assert!(r.exec_cycles > 0, "{} with {ar}", w.name());
+            assert_eq!(r.recoveries, 0, "{} deviated with {ar}", w.name());
+        }
+    }
+}
+
+#[test]
+fn quick_suite_with_transparent_loads_and_si() {
+    for w in quick_suite() {
+        let spec = RunSpec::new(4, ExecMode::Slipstream)
+            .with_slip(SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal));
+        let r = run(w.as_ref(), &spec);
+        assert!(r.exec_cycles > 0, "{} with SI", w.name());
+        assert_eq!(
+            r.mem.transparent_issued,
+            r.mem.transparent_replies + r.mem.upgraded_replies,
+            "{}: transparent replies must balance",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    for name in ["SOR", "CG", "WATER-NS"] {
+        let w = by_name(name, true).expect("known benchmark");
+        let a = run(w.as_ref(), &RunSpec::new(2, ExecMode::Slipstream));
+        let b = run(w.as_ref(), &RunSpec::new(2, ExecMode::Slipstream));
+        assert_eq!(a.exec_cycles, b.exec_cycles, "{name}");
+        assert_eq!(a.mem.net_messages, b.mem.net_messages, "{name}");
+    }
+}
+
+#[test]
+fn a_streams_do_useful_prefetching_somewhere_in_suite() {
+    // Not every kernel must benefit, but across the suite the A-streams
+    // must produce a substantial number of timely fetches.
+    let mut timely = 0;
+    for w in quick_suite() {
+        let r = run(w.as_ref(), &RunSpec::new(4, ExecMode::Slipstream));
+        timely += r.mem.class.reads.a_timely + r.mem.class.excl.a_timely;
+        // And A-streams always finish (not stuck).
+        assert!(r.streams.iter().filter(|s| s.role == StreamRole::A).count() == 4);
+    }
+    assert!(timely > 100, "A-streams fetched almost nothing timely: {timely}");
+}
+
+#[test]
+fn by_name_lookup() {
+    assert!(by_name("sor", true).is_some());
+    assert!(by_name("WATER-SP", false).is_some());
+    assert!(by_name("nope", true).is_none());
+}

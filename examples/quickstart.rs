@@ -1,0 +1,43 @@
+//! Quickstart: run one benchmark under all three execution modes and
+//! print the paper's headline comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use slipstream::workloads::Sor;
+use slipstream::{run, ExecMode, RunSpec};
+
+fn main() {
+    let nodes = 4;
+    let sor = Sor::quick();
+    println!("SOR ({} CMP nodes, reduced size)\n", nodes);
+    println!("{:<12} {:>12} {:>10}", "mode", "cycles", "vs single");
+
+    let single = run(&sor, &RunSpec::new(nodes, ExecMode::Single));
+    println!("{:<12} {:>12} {:>9.3}x", "single", single.exec_cycles, 1.0);
+
+    let double = run(&sor, &RunSpec::new(nodes, ExecMode::Double));
+    println!(
+        "{:<12} {:>12} {:>9.3}x",
+        "double",
+        double.exec_cycles,
+        double.speedup_over(&single)
+    );
+
+    let slip = run(&sor, &RunSpec::new(nodes, ExecMode::Slipstream));
+    println!(
+        "{:<12} {:>12} {:>9.3}x",
+        "slipstream",
+        slip.exec_cycles,
+        slip.speedup_over(&single)
+    );
+
+    println!(
+        "\nslipstream memory-request classification (Figure 7 style):\n\
+         reads: A-Timely {:.1}%  A-Late {:.1}%  A-Only {:.1}%",
+        slip.mem.class.reads.percentages()[0],
+        slip.mem.class.reads.percentages()[1],
+        slip.mem.class.reads.percentages()[2],
+    );
+}

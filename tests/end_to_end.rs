@@ -1,0 +1,100 @@
+//! Workspace-level integration tests: the facade crate, the paper's
+//! headline behaviours at reduced sizes, and cross-crate invariants.
+
+use slipstream::workloads::{by_name, quick_suite, Sor, WaterNs};
+use slipstream::{
+    run, run_sequential, ArSyncMode, ExecMode, RunSpec, SlipstreamConfig, StreamRole,
+};
+
+#[test]
+fn facade_reexports_work() {
+    let r = run(&Sor::quick(), &RunSpec::new(2, ExecMode::Single));
+    assert!(r.exec_cycles > 0);
+    assert!(by_name("sor", true).is_some());
+}
+
+#[test]
+fn single_mode_scales_at_small_node_counts() {
+    // Figure 4's left edge: going 1 -> 4 CMPs speeds every kernel up.
+    for w in quick_suite() {
+        let seq = run_sequential(w.as_ref());
+        let four = run(w.as_ref(), &RunSpec::new(4, ExecMode::Single));
+        assert!(
+            four.exec_cycles < seq.exec_cycles,
+            "{}: 4 CMPs ({}) not faster than sequential ({})",
+            w.name(),
+            four.exec_cycles,
+            seq.exec_cycles
+        );
+    }
+}
+
+#[test]
+fn slipstream_beats_single_on_sor() {
+    // The paper's SOR anchor: slipstream ~14% faster than single mode.
+    let sor = Sor::quick();
+    let single = run(&sor, &RunSpec::new(4, ExecMode::Single));
+    let slip = run(&sor, &RunSpec::new(4, ExecMode::Slipstream));
+    let gain = single.exec_cycles as f64 / slip.exec_cycles as f64;
+    assert!(gain > 1.05, "slipstream gain over single too small: {gain:.3}");
+}
+
+#[test]
+fn self_invalidation_helps_migratory_sharing() {
+    // §4.3: SI adds speedup for Water-NS over the same-sync prefetch-only
+    // configuration.
+    let w = WaterNs::quick();
+    let ar = ArSyncMode::OneTokenGlobal;
+    let pf = run(
+        &w,
+        &RunSpec::new(4, ExecMode::Slipstream).with_slip(SlipstreamConfig::prefetch_only(ar)),
+    );
+    let si = run(
+        &w,
+        &RunSpec::new(4, ExecMode::Slipstream)
+            .with_slip(SlipstreamConfig::with_self_invalidation(ar)),
+    );
+    assert!(
+        si.exec_cycles < pf.exec_cycles,
+        "SI ({}) should beat prefetch-only ({}) on Water-NS",
+        si.exec_cycles,
+        pf.exec_cycles
+    );
+    assert!(si.mem.si_invalidations > 0, "migratory lines must be self-invalidated");
+}
+
+#[test]
+fn a_streams_never_define_completion_time() {
+    let r = run(&Sor::quick(), &RunSpec::new(2, ExecMode::Slipstream));
+    let r_max = r
+        .streams
+        .iter()
+        .filter(|s| s.role == StreamRole::R)
+        .map(|s| s.finish)
+        .max()
+        .expect("has R-streams");
+    assert_eq!(r.exec_cycles, r_max);
+}
+
+#[test]
+fn time_breakdowns_are_consistent() {
+    for mode in [ExecMode::Single, ExecMode::Double, ExecMode::Slipstream] {
+        let r = run(&Sor::quick(), &RunSpec::new(2, mode));
+        for s in &r.streams {
+            assert!(s.breakdown.total() <= s.finish + 1);
+            assert!(s.breakdown.busy > 0);
+        }
+    }
+}
+
+#[test]
+fn classification_covers_all_transactions() {
+    // Every classified request lands in exactly one bucket; totals are
+    // consistent with the request counters.
+    let r = run(&Sor::quick(), &RunSpec::new(4, ExecMode::Slipstream));
+    let reads = r.mem.class.reads.total();
+    assert!(reads > 0);
+    let p = r.mem.class.reads.percentages();
+    let sum: f64 = p.iter().sum();
+    assert!((sum - 100.0).abs() < 1e-6, "read percentages sum to {sum}");
+}
