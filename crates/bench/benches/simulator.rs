@@ -1,77 +1,102 @@
-//! Criterion benchmarks of the simulator itself: end-to-end runs at
+//! Wall-clock benchmarks of the simulator itself: end-to-end runs at
 //! reduced sizes and protocol microbenchmarks. These measure the *host*
 //! cost of simulation (how fast the reproduction runs), not simulated
 //! performance — the figure binaries report that.
+//!
+//! Hand-rolled harness (`harness = false`, no external bench framework):
+//! each case is warmed once, then timed over a fixed iteration count, and
+//! min/mean wall times are printed. Pass `--test` (as `cargo test --benches`
+//! does) to run every case exactly once as a smoke test.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use slipstream_core::{run, ArSyncMode, ExecMode, RunSpec, SlipstreamConfig};
 use slipstream_kernel::config::MachineConfig;
 use slipstream_kernel::{Addr, CpuId, Cycle, EventQueue, NodeId};
 use slipstream_mem::{AccessKind, HomeMap, MemSystem, StreamRole};
 use slipstream_workloads::{Mg, Sor, WaterNs};
 
-fn end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
-    g.bench_function("sor_quick_single_4", |b| {
-        let w = Sor::quick();
-        b.iter(|| run(&w, &RunSpec::new(4, ExecMode::Single)));
-    });
-    g.bench_function("sor_quick_slipstream_4", |b| {
-        let w = Sor::quick();
-        b.iter(|| run(&w, &RunSpec::new(4, ExecMode::Slipstream)));
-    });
-    g.bench_function("mg_quick_slipstream_si_4", |b| {
-        let w = Mg::quick();
-        let spec = RunSpec::new(4, ExecMode::Slipstream)
-            .with_slip(SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal));
-        b.iter(|| run(&w, &spec));
-    });
-    g.bench_function("water_ns_quick_double_4", |b| {
-        let w = WaterNs::quick();
-        b.iter(|| run(&w, &RunSpec::new(4, ExecMode::Double)));
-    });
-    g.finish();
+/// Time `iters` calls of `f` (after one untimed warm-up call) and print a
+/// one-line report. Returns the checksum of the last call so the work
+/// cannot be optimized away.
+fn bench(name: &str, iters: u32, mut f: impl FnMut() -> u64) -> u64 {
+    let mut checksum = black_box(f());
+    let mut min = f64::INFINITY;
+    let total_start = Instant::now();
+    for _ in 0..iters {
+        let start = Instant::now();
+        checksum = black_box(f());
+        min = min.min(start.elapsed().as_secs_f64());
+    }
+    let mean = total_start.elapsed().as_secs_f64() / iters as f64;
+    println!(
+        "{name:<28} {iters:>3} iters   min {:>9.3} ms   mean {:>9.3} ms",
+        min * 1e3,
+        mean * 1e3
+    );
+    checksum
 }
 
-fn protocol(c: &mut Criterion) {
-    let mut g = c.benchmark_group("protocol");
-    // Streaming local misses: the simulator's hottest path.
-    g.bench_function("local_miss_stream_10k", |b| {
-        b.iter(|| {
-            let cfg = MachineConfig::with_nodes(1);
-            let home = HomeMap::uniform(1, cfg.page_bytes);
-            let mut mem = MemSystem::new(&cfg, home, 1);
-            let mut q = EventQueue::new();
-            let cpu = CpuId::new(NodeId(0), 0);
-            let mut out = Vec::new();
-            let mut t = 0u64;
-            for i in 0..10_000u64 {
-                mem.access(
-                    Cycle(t),
-                    cpu,
-                    StreamRole::Solo,
-                    AccessKind::Read,
-                    Addr(0x1000 + i * 64),
-                    true,
-                    false,
-                    &mut q,
-                );
-                while let Some((at, ev)) = q.pop() {
-                    out.clear();
-                    mem.handle_event(at, ev, &mut q, &mut out);
-                    if let Some(c) = out.first() {
-                        t = at.raw().max(t);
-                        let _ = c;
-                    }
-                }
-                t += 1;
+/// Streaming local misses: the simulator's hottest path.
+fn local_miss_stream_10k() -> u64 {
+    let cfg = MachineConfig::with_nodes(1);
+    let home = HomeMap::uniform(1, cfg.page_bytes);
+    let mut mem = MemSystem::new(&cfg, home, 1);
+    let mut q = EventQueue::new();
+    let cpu = CpuId::new(NodeId(0), 0);
+    let mut out = Vec::new();
+    let mut t = 0u64;
+    for i in 0..10_000u64 {
+        mem.access(
+            Cycle(t),
+            cpu,
+            StreamRole::Solo,
+            AccessKind::Read,
+            Addr(0x1000 + i * 64),
+            true,
+            false,
+            &mut q,
+        );
+        while let Some((at, ev)) = q.pop() {
+            out.clear();
+            mem.handle_event(at, ev, &mut q, &mut out);
+            if let Some(c) = out.first() {
+                t = at.raw().max(t);
+                let _ = c;
             }
-            mem.stats().l2_misses
-        });
-    });
-    g.finish();
+        }
+        t += 1;
+    }
+    mem.stats().l2_misses
 }
 
-criterion_group!(benches, end_to_end, protocol);
-criterion_main!(benches);
+fn main() {
+    // `cargo test --benches` (and some CI wrappers) execute this binary with
+    // `--test`; `cargo bench` passes `--bench`. In test mode run each case
+    // once so the suite stays fast; ignore the other harness flags.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let iters: u32 = if test_mode { 1 } else { 10 };
+
+    println!("# simulator wall-clock benchmarks ({iters} iters/case)");
+
+    let sor = Sor::quick();
+    bench("sor_quick_single_4", iters, || {
+        run(&sor, &RunSpec::new(4, ExecMode::Single)).exec_cycles
+    });
+    bench("sor_quick_slipstream_4", iters, || {
+        run(&sor, &RunSpec::new(4, ExecMode::Slipstream)).exec_cycles
+    });
+
+    let mg = Mg::quick();
+    let si_spec = RunSpec::new(4, ExecMode::Slipstream)
+        .with_slip(SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal));
+    bench("mg_quick_slipstream_si_4", iters, || run(&mg, &si_spec).exec_cycles);
+
+    let water = WaterNs::quick();
+    bench("water_ns_quick_double_4", iters, || {
+        run(&water, &RunSpec::new(4, ExecMode::Double)).exec_cycles
+    });
+
+    bench("local_miss_stream_10k", iters, local_miss_stream_10k);
+}

@@ -1,0 +1,168 @@
+//! Tracked wall-clock benchmark baseline: times a fixed set of
+//! representative quick-suite runs and writes `BENCH_sim.json` (wall-clock
+//! seconds, host events processed, and events/sec per run, plus totals).
+//!
+//! The JSON is a *host-performance* artifact for catching simulator
+//! slowdowns across commits; simulated results (cycles, miss rates) are
+//! reported by the figure binaries and EXPERIMENTS.md.
+//!
+//! Usage: `bench_sim [--out PATH] [--iters N]`
+//!   --out PATH   output file (default: BENCH_sim.json)
+//!   --iters N    timed iterations per run; minimum wall time is kept
+//!                (default: 3)
+
+use std::time::Instant;
+
+use slipstream_core::{run, ArSyncMode, ExecMode, RunResult, RunSpec, SlipstreamConfig, Workload};
+use slipstream_workloads::{Mg, Sor, WaterNs};
+
+struct Case {
+    name: &'static str,
+    workload: Box<dyn Workload>,
+    spec: RunSpec,
+    mode: &'static str,
+}
+
+struct Measured {
+    name: &'static str,
+    workload: String,
+    mode: &'static str,
+    nodes: u16,
+    wall_s: f64,
+    events: u64,
+    exec_cycles: u64,
+}
+
+/// Run one case `iters` times (after an untimed warm-up) and keep the
+/// fastest wall time; the simulator is deterministic, so every iteration
+/// returns the identical `RunResult`.
+fn measure(case: &Case, iters: u32) -> Measured {
+    let mut result: RunResult = run(case.workload.as_ref(), &case.spec);
+    let mut wall_s = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        result = run(case.workload.as_ref(), &case.spec);
+        wall_s = wall_s.min(start.elapsed().as_secs_f64());
+    }
+    Measured {
+        name: case.name,
+        workload: case.workload.name().to_string(),
+        mode: case.mode,
+        nodes: case.spec.nodes,
+        wall_s,
+        events: result.host_events,
+        exec_cycles: result.exec_cycles,
+    }
+}
+
+fn events_per_sec(events: u64, wall_s: f64) -> f64 {
+    if wall_s > 0.0 { events as f64 / wall_s } else { 0.0 }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_sim.json");
+    let mut iters: u32 = 3;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--iters" => {
+                iters = args
+                    .next()
+                    .expect("--iters needs a count")
+                    .parse()
+                    .expect("--iters needs an integer")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_sim [--out PATH] [--iters N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let si = SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal);
+    let cases = [
+        Case {
+            name: "sor_quick_single_4",
+            workload: Box::new(Sor::quick()),
+            spec: RunSpec::new(4, ExecMode::Single),
+            mode: "single",
+        },
+        Case {
+            name: "sor_quick_slipstream_4",
+            workload: Box::new(Sor::quick()),
+            spec: RunSpec::new(4, ExecMode::Slipstream),
+            mode: "slipstream",
+        },
+        Case {
+            name: "mg_quick_slipstream_si_4",
+            workload: Box::new(Mg::quick()),
+            spec: RunSpec::new(4, ExecMode::Slipstream).with_slip(si),
+            mode: "slipstream+si",
+        },
+        Case {
+            name: "water_ns_quick_double_4",
+            workload: Box::new(WaterNs::quick()),
+            spec: RunSpec::new(4, ExecMode::Double),
+            mode: "double",
+        },
+    ];
+
+    let measured: Vec<Measured> = cases
+        .iter()
+        .map(|c| {
+            let m = measure(c, iters);
+            eprintln!(
+                "  [{:<26} {:>9.3} ms  {:>9} events  {:>12.0} events/s]",
+                m.name,
+                m.wall_s * 1e3,
+                m.events,
+                events_per_sec(m.events, m.wall_s)
+            );
+            m
+        })
+        .collect();
+
+    let total_wall: f64 = measured.iter().map(|m| m.wall_s).sum();
+    let total_events: u64 = measured.iter().map(|m| m.events).sum();
+    let host_cpus =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // Hand-written JSON: the schema is flat and fully under our control, so
+    // no serialization dependency is warranted.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"slipstream-bench-sim/1\",\n");
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, m) in measured.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"workload\": \"{}\", \"mode\": \"{}\", \
+             \"nodes\": {}, \"wall_s\": {:.6}, \"events\": {}, \
+             \"events_per_sec\": {:.1}, \"exec_cycles\": {}}}{}\n",
+            m.name,
+            m.workload,
+            m.mode,
+            m.nodes,
+            m.wall_s,
+            m.events,
+            events_per_sec(m.events, m.wall_s),
+            m.exec_cycles,
+            if i + 1 < measured.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"total\": {{\"wall_s\": {:.6}, \"events\": {}, \"events_per_sec\": {:.1}}}\n",
+        total_wall,
+        total_events,
+        events_per_sec(total_events, total_wall)
+    ));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path} ({} runs, {total_events} events)", measured.len());
+}

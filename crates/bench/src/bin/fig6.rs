@@ -2,8 +2,8 @@
 //! slipstream (R- and A-stream) modes at 16 CMPs, relative to single mode,
 //! using the best prefetch-only A-R synchronization method per benchmark.
 
-use slipstream_bench::{Cli, Runner};
-use slipstream_core::{ArSyncMode, RunResult, SlipstreamConfig, StreamRole, TimeBreakdown};
+use slipstream_bench::{Cli, Plan, Runner};
+use slipstream_core::{ArSyncMode, ExecMode, RunResult, RunSpec, SlipstreamConfig, StreamRole, TimeBreakdown};
 
 fn pct(b: &TimeBreakdown, base: u64) -> [f64; 5] {
     let f = |x: u64| 100.0 * x as f64 / base as f64;
@@ -22,10 +22,26 @@ fn row(label: &str, cells: [f64; 5]) {
 fn main() {
     let cli = Cli::parse();
     let nodes = *cli.sweep().last().expect("at least one node count");
+    let suite = cli.suite();
+
+    let mut plan = Plan::new();
+    for w in &suite {
+        plan.add(w.as_ref(), RunSpec::new(nodes, ExecMode::Single));
+        plan.add(w.as_ref(), RunSpec::new(nodes, ExecMode::Double));
+        for ar in ArSyncMode::ALL {
+            plan.add(
+                w.as_ref(),
+                RunSpec::new(nodes, ExecMode::Slipstream)
+                    .with_slip(SlipstreamConfig::prefetch_only(ar)),
+            );
+        }
+    }
     let mut r = Runner::new();
+    r.prewarm(&plan, cli.jobs());
+
     println!("# Figure 6: execution time breakdown at {nodes} CMPs (% of single mode)");
     println!("{:<14} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}", "", "busy", "stall", "A-R", "barrier", "lock", "total");
-    for w in cli.suite() {
+    for w in &suite {
         let single = r.single(w.as_ref(), nodes);
         let double = r.double(w.as_ref(), nodes);
         // Best prefetch-only A-R sync method for this benchmark.

@@ -2,8 +2,8 @@
 //! Timely/Late/Only), for reads (top) and exclusive requests (bottom),
 //! under each A-R synchronization method, at 16 CMPs.
 
-use slipstream_bench::{Cli, Runner};
-use slipstream_core::{ArSyncMode, ClassCounts, SlipstreamConfig};
+use slipstream_bench::{Cli, Plan, Runner};
+use slipstream_core::{ArSyncMode, ClassCounts, ExecMode, RunSpec, SlipstreamConfig};
 
 fn row(label: &str, c: &ClassCounts) {
     let p = c.percentages();
@@ -16,13 +16,27 @@ fn row(label: &str, c: &ClassCounts) {
 fn main() {
     let cli = Cli::parse();
     let nodes = *cli.sweep().last().expect("at least one node count");
+    let suite = cli.suite();
+
+    let mut plan = Plan::new();
+    for w in &suite {
+        for ar in ArSyncMode::ALL {
+            plan.add(
+                w.as_ref(),
+                RunSpec::new(nodes, ExecMode::Slipstream)
+                    .with_slip(SlipstreamConfig::prefetch_only(ar)),
+            );
+        }
+    }
     let mut r = Runner::new();
+    r.prewarm(&plan, cli.jobs());
+
     println!("# Figure 7: shared-data request classification at {nodes} CMPs (%)");
     println!(
         "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "", "A-Timely", "A-Late", "A-Only", "R-Timely", "R-Late", "R-Only"
     );
-    for w in cli.suite() {
+    for w in &suite {
         println!("\n## {} — reads", w.name());
         let mut excl_rows = Vec::new();
         for ar in ArSyncMode::ALL {

@@ -6,12 +6,22 @@
 //!
 //! * `--quick` — reduced problem sizes (same shapes, faster);
 //! * `--bench NAME` — restrict to one benchmark;
-//! * `--nodes N[,N...]` — override the CMP-count sweep.
+//! * `--nodes N[,N...]` — override the CMP-count sweep;
+//! * `--jobs N` — worker threads for the simulation grid (defaults to the
+//!   host's available parallelism; results are identical for any value).
+//!
+//! The binaries follow one pattern: declare the full grid of runs as a
+//! [`Plan`], execute it across cores with [`Runner::prewarm`], then render
+//! the figure from the warm cache.
 
 use std::collections::HashMap;
 
 use slipstream_core::{run, ExecMode, RunResult, RunSpec, SlipstreamConfig, Workload};
 use slipstream_workloads::{paper_suite, quick_suite};
+
+mod par;
+
+pub use par::{Plan, RunKey};
 
 /// Parsed command-line options shared by every figure binary.
 #[derive(Debug, Clone, Default)]
@@ -22,6 +32,8 @@ pub struct Cli {
     pub only: Option<String>,
     /// Override the node-count sweep.
     pub nodes: Option<Vec<u16>>,
+    /// Worker threads for executing the simulation grid.
+    pub jobs: Option<usize>,
 }
 
 impl Cli {
@@ -47,7 +59,13 @@ impl Cli {
                             .collect(),
                     );
                 }
-                other => panic!("unknown flag {other}; supported: --quick --bench NAME --nodes N,N"),
+                "--jobs" => {
+                    let v = args.next().expect("--jobs needs a thread count");
+                    cli.jobs = Some(v.parse().expect("--jobs takes an integer"));
+                }
+                other => panic!(
+                    "unknown flag {other}; supported: --quick --bench NAME --nodes N,N --jobs N"
+                ),
             }
         }
         cli
@@ -69,13 +87,21 @@ impl Cli {
     pub fn sweep(&self) -> Vec<u16> {
         self.nodes.clone().unwrap_or_else(|| vec![2, 4, 8, 16])
     }
+
+    /// Worker threads to use: `--jobs` if given, else the host's available
+    /// parallelism.
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+    }
 }
 
 /// Memoizing run cache so figures that need the same baselines don't
-/// re-simulate them.
+/// re-simulate them. Keys are structured ([`RunKey`]), not Debug strings.
 #[derive(Default)]
 pub struct Runner {
-    cache: HashMap<String, RunResult>,
+    cache: HashMap<RunKey, RunResult>,
 }
 
 impl Runner {
@@ -84,16 +110,20 @@ impl Runner {
         Runner::default()
     }
 
+    /// Executes `plan` across `jobs` threads and absorbs every result into
+    /// the cache. Subsequent [`Runner::run`] calls for those cells are
+    /// cache hits, so the reporting pass stays strictly serial and ordered
+    /// while the simulations use all cores.
+    pub fn prewarm(&mut self, plan: &Plan<'_>, jobs: usize) {
+        let results = plan.execute(jobs);
+        for (key, result) in plan.keys().zip(results) {
+            self.cache.entry(key).or_insert(result);
+        }
+    }
+
     /// Runs (or returns the cached result of) `workload` under `spec`.
     pub fn run(&mut self, workload: &dyn Workload, spec: &RunSpec) -> RunResult {
-        let key = format!(
-            "{}|{}|{}|{:?}|{:?}",
-            workload.name(),
-            spec.nodes,
-            spec.mode,
-            spec.slip,
-            spec.machine
-        );
+        let key = RunKey::new(workload, spec);
         if let Some(r) = self.cache.get(&key) {
             return r.clone();
         }

@@ -1,0 +1,58 @@
+//! Determinism guarantees the whole reproduction rests on: repeated runs
+//! of the same spec are bit-identical, and the parallel experiment
+//! executor returns the same results regardless of `--jobs`. These tests
+//! pin the guarantees down over the full quick suite so hot-path changes
+//! (hashers, queue layout, clone elimination) can't silently break them.
+
+use slipstream_bench::Plan;
+use slipstream_core::{run, ArSyncMode, ExecMode, RunSpec, SlipstreamConfig};
+use slipstream_workloads::quick_suite;
+
+/// Running the same (workload, spec) twice in-process yields identical
+/// cycle counts and memory-system statistics, in every execution mode.
+#[test]
+fn repeated_runs_are_bit_identical_in_every_mode() {
+    let suite = quick_suite();
+    for w in &suite {
+        for mode in [ExecMode::Single, ExecMode::Double, ExecMode::Slipstream] {
+            let spec = RunSpec::new(2, mode);
+            let a = run(w.as_ref(), &spec);
+            let b = run(w.as_ref(), &spec);
+            assert_eq!(a.exec_cycles, b.exec_cycles, "{} {mode:?}", w.name());
+            assert_eq!(a.mem, b.mem, "{} {mode:?}", w.name());
+            assert_eq!(a.recoveries, b.recoveries, "{} {mode:?}", w.name());
+            assert_eq!(a.host_events, b.host_events, "{} {mode:?}", w.name());
+        }
+    }
+}
+
+/// The parallel executor is a pure scheduling layer: results at
+/// `--jobs 4` match `--jobs 1` cell-for-cell over the quick suite in all
+/// three modes.
+#[test]
+fn executor_results_are_independent_of_jobs() {
+    let suite = quick_suite();
+    let mut serial_plan = Plan::new();
+    let mut parallel_plan = Plan::new();
+    for plan in [&mut serial_plan, &mut parallel_plan] {
+        for w in &suite {
+            for mode in [ExecMode::Single, ExecMode::Double, ExecMode::Slipstream] {
+                plan.add(w.as_ref(), RunSpec::new(2, mode));
+            }
+            plan.add(
+                w.as_ref(),
+                RunSpec::new(2, ExecMode::Slipstream).with_slip(
+                    SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal),
+                ),
+            );
+        }
+    }
+    let serial = serial_plan.execute(1);
+    let parallel = parallel_plan.execute(4);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(a.exec_cycles, b.exec_cycles, "cell {i}");
+        assert_eq!(a.mem, b.mem, "cell {i}");
+        assert_eq!(a.recoveries, b.recoveries, "cell {i}");
+    }
+}

@@ -85,12 +85,16 @@ impl Machine {
         }
         let nodes = cfg.nodes;
         let epochs = vec![0; streams.len()];
+        // Every stream keeps a handful of events in flight (a resume plus a
+        // few memory-system events); reserve up front so the steady-state
+        // loop never grows the heap.
+        let q = EventQueue::with_capacity(streams.len() * 8 + 64);
         Machine {
             cfg,
             slip,
             mode,
             mem,
-            q: EventQueue::new(),
+            q,
             streams,
             epochs,
             pairs,
@@ -126,7 +130,9 @@ impl Machine {
             }
         }
         let mut out: Vec<Completion> = Vec::new();
+        let mut host_events: u64 = 0;
         while let Some((t, ev)) = self.q.pop() {
+            host_events += 1;
             match ev {
                 Ev::Resume { stream, epoch } => {
                     if self.epochs[stream] == epoch
@@ -190,8 +196,9 @@ impl Machine {
             tasks: self.tasks,
             exec_cycles,
             streams,
-            mem: self.mem.stats().clone(),
+            mem: self.mem.take_stats(),
             recoveries: self.recoveries,
+            host_events,
         }
     }
 

@@ -96,6 +96,10 @@ pub struct RunResult {
     pub mem: MemStats,
     /// Number of A-stream kill/refork recoveries (§3.2).
     pub recoveries: u64,
+    /// Host-side event count: discrete events the simulator processed to
+    /// produce this result. Purely an observability number (events/sec in
+    /// BENCH_sim.json); it has no effect on simulated time.
+    pub host_events: u64,
 }
 
 impl RunResult {
@@ -162,6 +166,7 @@ mod tests {
             streams: vec![mk(StreamRole::R, 10), mk(StreamRole::A, 50)],
             mem: MemStats::default(),
             recoveries: 0,
+            host_events: 0,
         };
         assert_eq!(r.avg_breakdown(StreamRole::R).busy, 10);
         assert_eq!(r.avg_breakdown(StreamRole::A).busy, 50);
@@ -179,6 +184,7 @@ mod tests {
             streams: vec![],
             mem: MemStats::default(),
             recoveries: 0,
+            host_events: 0,
         };
         let fast = RunResult { exec_cycles: 100, mode: ExecMode::Slipstream, ..base.clone() };
         assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);

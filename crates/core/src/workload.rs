@@ -16,7 +16,12 @@ pub type TaskBuilderFn = Box<dyn Fn(&mut Layout, InstanceId, usize) -> Program>;
 /// Implementations allocate their shared arrays once in
 /// [`Workload::instantiate`] and capture the handles in the returned
 /// builder. See the crate-level example.
-pub trait Workload {
+///
+/// `Send + Sync` lets the bench harness share one workload description
+/// across executor threads; a workload is a pure description (allocation
+/// happens per run inside `instantiate`), so this costs implementations
+/// nothing.
+pub trait Workload: Send + Sync {
     /// Benchmark name (used in reports).
     fn name(&self) -> &str;
 

@@ -9,7 +9,7 @@
 use std::fmt;
 
 /// Geometry of one cache (L1 or L2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub bytes: u64,
@@ -43,7 +43,7 @@ impl CacheGeometry {
 /// Memory-system latency/occupancy parameters (Table 1 of the paper).
 ///
 /// All values are in cycles of the 1 GHz processor clock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Latencies {
     /// L1 hit time.
     pub l1_hit: u64,
@@ -189,7 +189,7 @@ impl fmt::Display for ArSyncMode {
 }
 
 /// Slipstream-mode feature knobs (§3 and §4 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SlipstreamConfig {
     /// Which A-R synchronization method to use.
     pub ar_sync: ArSyncMode,
@@ -293,7 +293,7 @@ impl fmt::Display for ExecMode {
 }
 
 /// Full description of the simulated machine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MachineConfig {
     /// Number of CMP nodes.
     pub nodes: u16,

@@ -12,6 +12,8 @@
 //! * id newtypes ([`NodeId`], [`CpuId`], [`TaskId`], [`Addr`], [`LineAddr`])
 //!   that keep the many small integers in a multiprocessor simulator from
 //!   being confused with one another;
+//! * [`FxHashMap`] — a `HashMap` with a fast deterministic hasher for the
+//!   simulator's per-access maps (directories, MSHRs, sync objects);
 //! * [`SplitMix64`] — a tiny deterministic RNG used by workload generators;
 //! * [`config`] — the machine description (Table 1 of the paper) and the
 //!   slipstream execution-mode knobs.
@@ -32,12 +34,14 @@
 //! ```
 
 pub mod config;
+mod hash;
 mod ids;
 mod queue;
 mod rng;
 mod server;
 mod time;
 
+pub use hash::{fx_map_with_capacity, FxBuildHasher, FxHasher, FxHashMap};
 pub use ids::{Addr, CpuId, LineAddr, NodeId, TaskId};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;

@@ -1,7 +1,7 @@
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use slipstream_kernel::config::CacheGeometry;
-use slipstream_kernel::{CpuId, LineAddr};
+use slipstream_kernel::{CpuId, FxHashMap, LineAddr};
 
 use crate::classify::OpenReq;
 use crate::msg::Token;
@@ -134,7 +134,7 @@ pub(crate) struct L2Cache {
     sets: Vec<Vec<L2Line>>,
     ways: usize,
     set_mask: u64,
-    pub mshrs: HashMap<LineAddr, Mshr>,
+    pub mshrs: FxHashMap<LineAddr, Mshr>,
     /// Lines flagged for self-invalidation, processed at sync points.
     pub si_queue: VecDeque<LineAddr>,
     /// An SI drain is currently scheduled.
@@ -151,7 +151,7 @@ impl L2Cache {
             sets: (0..sets).map(|_| Vec::with_capacity(geom.ways as usize)).collect(),
             ways: geom.ways as usize,
             set_mask: sets as u64 - 1,
-            mshrs: HashMap::new(),
+            mshrs: FxHashMap::default(),
             si_queue: VecDeque::new(),
             si_active: false,
             set_overflows: 0,

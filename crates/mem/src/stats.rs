@@ -5,7 +5,7 @@ use crate::classify::RequestClass;
 /// Combines hit/miss counters, network traffic, the Figure 7 request
 /// classification, the Figure 9 transparent-load breakdown, and
 /// self-invalidation activity.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// L1 data-cache hits.
     pub l1_hits: u64,

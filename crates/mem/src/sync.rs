@@ -1,6 +1,6 @@
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use slipstream_kernel::{CpuId, TaskId};
+use slipstream_kernel::{CpuId, FxHashMap, TaskId};
 use slipstream_prog::{BarrierId, EventId, LockId};
 
 use crate::msg::{SyncOp, Token};
@@ -15,9 +15,9 @@ use crate::msg::{SyncOp, Token};
 #[derive(Debug)]
 pub(crate) struct SyncCtl {
     participants: u32,
-    barriers: HashMap<BarrierId, BarrierState>,
-    locks: HashMap<LockId, LockState>,
-    events: HashMap<EventId, EventState>,
+    barriers: FxHashMap<BarrierId, BarrierState>,
+    locks: FxHashMap<LockId, LockState>,
+    events: FxHashMap<EventId, EventState>,
 }
 
 #[derive(Debug, Default)]
@@ -55,9 +55,9 @@ impl SyncCtl {
         assert!(participants > 0, "need at least one participant");
         SyncCtl {
             participants,
-            barriers: HashMap::new(),
-            locks: HashMap::new(),
-            events: HashMap::new(),
+            barriers: FxHashMap::default(),
+            locks: FxHashMap::default(),
+            events: FxHashMap::default(),
         }
     }
 

@@ -1,7 +1,7 @@
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use slipstream_kernel::config::MachineConfig;
-use slipstream_kernel::{Addr, CpuId, Cycle, EventQueue, LineAddr, NodeId, Server};
+use slipstream_kernel::config::{Latencies, MachineConfig};
+use slipstream_kernel::{Addr, CpuId, Cycle, EventQueue, FxHashMap, LineAddr, NodeId, Server};
 use slipstream_prog::{BarrierId, EventId, LockId};
 
 use crate::classify::OpenReq;
@@ -131,11 +131,15 @@ struct NodeState {
 /// progress is made through [`MemEvent`]s scheduled on the caller's queue.
 #[derive(Debug)]
 pub struct MemSystem {
-    cfg: MachineConfig,
+    /// Latency table, copied out of the [`MachineConfig`] (it is `Copy`);
+    /// the full config is not retained.
+    lat: Latencies,
+    migratory_opt: bool,
+    n_nodes: u16,
     home: HomeMap,
     line_bytes: u64,
     nodes: Vec<NodeState>,
-    dir: HashMap<LineAddr, DirLine>,
+    dir: FxHashMap<LineAddr, DirLine>,
     sync: SyncCtl,
     stats: MemStats,
     next_token: u64,
@@ -175,11 +179,13 @@ impl MemSystem {
             })
             .collect();
         MemSystem {
-            cfg: cfg.clone(),
+            lat: cfg.lat,
+            migratory_opt: cfg.migratory_opt,
+            n_nodes: cfg.nodes,
             home,
             line_bytes,
             nodes,
-            dir: HashMap::new(),
+            dir: FxHashMap::default(),
             sync: SyncCtl::new(participants),
             stats: MemStats::default(),
             next_token: 0,
@@ -190,6 +196,13 @@ impl MemSystem {
     /// Accumulated statistics.
     pub fn stats(&self) -> &MemStats {
         &self.stats
+    }
+
+    /// Takes ownership of the accumulated statistics, leaving zeroed
+    /// counters behind. Used at end of run so the report does not clone
+    /// the (non-trivial) stats block.
+    pub fn take_stats(&mut self) -> MemStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// Sets the self-invalidation drain rate (one line per `interval`
@@ -298,7 +311,7 @@ impl MemSystem {
             self.stats.l2_hits += 1;
             self.fill_l1(cpu, line, L1State::Shared);
             let token = self.token();
-            sched.sched(now + self.cfg.lat.l2_hit, MemEvent::L2Done { cpu, token });
+            sched.sched(now + self.lat.l2_hit, MemEvent::L2Done { cpu, token });
             return Access::Pending(token);
         }
         // Miss: merge into or create an MSHR.
@@ -407,7 +420,7 @@ impl MemSystem {
         if grant {
             self.stats.l2_hits += 1;
             self.fill_l1(cpu, line, L1State::Modified);
-            sched.sched(now + self.cfg.lat.l2_hit, MemEvent::L2Done { cpu, token });
+            sched.sched(now + self.lat.l2_hit, MemEvent::L2Done { cpu, token });
             return Access::Pending(token);
         }
         self.stats.l2_misses += 1;
@@ -504,7 +517,7 @@ impl MemSystem {
         let token = self.token();
         let home = self.sync_home(op);
         let msg = Msg { src: cpu.node(), dst: home, kind: MsgKind::SyncReq { op, cpu, token } };
-        sched.sched(now + self.cfg.lat.bus, MemEvent::AtLocalDc(msg));
+        sched.sched(now + self.lat.bus, MemEvent::AtLocalDc(msg));
         token
     }
 
@@ -518,7 +531,7 @@ impl MemSystem {
                 0x2000_0000 + i as u64
             }
         };
-        NodeId(((x.wrapping_mul(2654435761) >> 16) % self.cfg.nodes as u64) as u16)
+        NodeId(((x.wrapping_mul(2654435761) >> 16) % self.n_nodes as u64) as u16)
     }
 
     /// Starts draining `node`'s self-invalidation queue — the paper
@@ -557,7 +570,7 @@ impl MemSystem {
                     let done = self.nodes[n].dc.serve(now, occ);
                     sched.sched(done, MemEvent::Handle(msg));
                 } else {
-                    let occ = Cycle(self.cfg.lat.pi_remote_dc);
+                    let occ = Cycle(self.lat.pi_remote_dc);
                     let done = self.nodes[n].dc.serve(now, occ);
                     sched.sched(done, MemEvent::NetOut(msg));
                 }
@@ -565,12 +578,12 @@ impl MemSystem {
             MemEvent::NetOut(msg) => {
                 self.stats.net_messages += 1;
                 let n = msg.src.idx();
-                let start = self.nodes[n].port_out.serve_start(now, Cycle(self.cfg.lat.net_port));
-                sched.sched(start + self.cfg.lat.net, MemEvent::NetIn(msg));
+                let start = self.nodes[n].port_out.serve_start(now, Cycle(self.lat.net_port));
+                sched.sched(start + self.lat.net, MemEvent::NetIn(msg));
             }
             MemEvent::NetIn(msg) => {
                 let n = msg.dst.idx();
-                let start = self.nodes[n].port_in.serve_start(now, Cycle(self.cfg.lat.net_port));
+                let start = self.nodes[n].port_in.serve_start(now, Cycle(self.lat.net_port));
                 sched.sched(start, MemEvent::AtDestDc(msg));
             }
             MemEvent::AtDestDc(msg) => {
@@ -590,9 +603,9 @@ impl MemSystem {
         match kind {
             MsgKind::ReadReq { .. }
             | MsgKind::ReadExclReq { .. }
-            | MsgKind::TransReadReq { .. } => self.cfg.lat.pi_local_dc,
-            MsgKind::SyncReq { .. } => self.cfg.lat.sync_ctrl,
-            _ => self.cfg.lat.ni_remote_dc,
+            | MsgKind::TransReadReq { .. } => self.lat.pi_local_dc,
+            MsgKind::SyncReq { .. } => self.lat.sync_ctrl,
+            _ => self.lat.ni_remote_dc,
         }
     }
 
@@ -600,9 +613,9 @@ impl MemSystem {
         match kind {
             MsgKind::ReadReq { .. }
             | MsgKind::ReadExclReq { .. }
-            | MsgKind::TransReadReq { .. } => self.cfg.lat.ni_local_dc,
-            MsgKind::SyncReq { .. } => self.cfg.lat.sync_ctrl,
-            _ => self.cfg.lat.ni_remote_dc,
+            | MsgKind::TransReadReq { .. } => self.lat.ni_local_dc,
+            MsgKind::SyncReq { .. } => self.lat.sync_ctrl,
+            _ => self.lat.ni_remote_dc,
         }
     }
 
@@ -611,9 +624,9 @@ impl MemSystem {
     /// the service start, where the start queues behind earlier transfers
     /// (the bank is occupied `mem_bank_occ` cycles per line).
     fn mem_access(&mut self, home: NodeId, now: Cycle) -> Cycle {
-        let occ = Cycle(self.cfg.lat.mem_bank_occ);
+        let occ = Cycle(self.lat.mem_bank_occ);
         let start = self.nodes[home.idx()].mem_bank.serve_start(now, occ);
-        start + self.cfg.lat.mem
+        start + self.lat.mem
     }
 
     /// Serves one memory-bank *write* (writeback or SI downgrade) at
@@ -621,7 +634,7 @@ impl MemSystem {
     /// bank only for the transfer time (`MemTime`), not the full read
     /// occupancy — nobody waits on them.
     fn mem_write(&mut self, home: NodeId, now: Cycle) {
-        let occ = Cycle(self.cfg.lat.mem);
+        let occ = Cycle(self.lat.mem);
         let _ = self.nodes[home.idx()].mem_bank.serve_start(now, occ);
     }
 
@@ -629,7 +642,7 @@ impl MemSystem {
     /// to `dst`'s L2/controller.
     fn route(&mut self, now: Cycle, msg: Msg, sched: &mut impl MemSched) {
         if msg.src == msg.dst {
-            sched.sched(now + self.cfg.lat.bus, MemEvent::AtL2(msg));
+            sched.sched(now + self.lat.bus, MemEvent::AtL2(msg));
         } else {
             sched.sched(now, MemEvent::NetOut(msg));
         }
@@ -638,7 +651,7 @@ impl MemSystem {
     /// Sends a message from a node's L2 through the full path (bus, DCs,
     /// network) to `dst`.
     fn send_from_l2(&mut self, now: Cycle, msg: Msg, sched: &mut impl MemSched) {
-        sched.sched(now + self.cfg.lat.bus, MemEvent::AtLocalDc(msg));
+        sched.sched(now + self.lat.bus, MemEvent::AtLocalDc(msg));
     }
 
     /// Issues a new directory transaction from `src`'s L2.
@@ -693,7 +706,7 @@ impl MemSystem {
                 }
             }
             // Everything else is cache-side: cross the bus into the L2.
-            _ => sched.sched(now + self.cfg.lat.bus, MemEvent::AtL2(msg)),
+            _ => sched.sched(now + self.lat.bus, MemEvent::AtL2(msg)),
         }
     }
 
@@ -716,7 +729,11 @@ impl MemSystem {
             return;
         }
         let mut retry = false;
-        match msg.kind.clone() {
+        // Dissolve the message so the kind can be matched by move (no
+        // per-message clone on the directory hot path); src/dst stay
+        // available for the one arm that re-queues the message.
+        let Msg { src: msg_src, dst: msg_dst, kind } = msg;
+        match kind {
             MsgKind::ReadReq { from, role, .. } => {
                 if !role.is_a() {
                     dl.future &= !bit(from);
@@ -740,7 +757,7 @@ impl MemSystem {
                     }
                     Perm::Excl(owner) if owner != from => {
                         self.stats.interventions += 1;
-                        if self.cfg.migratory_opt && dl.migratory() && !role.is_a() {
+                        if self.migratory_opt && dl.migratory() && !role.is_a() {
                             // Migratory optimization: the reader will write
                             // next, so transfer ownership outright and save
                             // its upgrade.
@@ -937,7 +954,11 @@ impl MemSystem {
             MsgKind::DowngradeWb { from, .. } => {
                 if dl.busy.is_some() {
                     // Let the in-flight transaction resolve first.
-                    dl.waiters.push_back(msg);
+                    dl.waiters.push_back(Msg {
+                        src: msg_src,
+                        dst: msg_dst,
+                        kind: MsgKind::DowngradeWb { line, from },
+                    });
                 } else if dl.perm == Perm::Excl(from) {
                     self.mem_write(home, now);
                     dl.perm = Perm::Shared(bit(from));
@@ -990,7 +1011,7 @@ impl MemSystem {
                 retry = true;
             }
             MsgKind::InvAck { .. } => {
-                let mem_lat = self.cfg.lat.mem;
+                let mem_lat = self.lat.mem;
                 let p = dl.busy.as_mut().expect("InvAck without pending transaction");
                 debug_assert!(p.wait == WaitKind::Acks && p.acks_left > 0);
                 p.acks_left -= 1;

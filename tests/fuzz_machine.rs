@@ -1,9 +1,10 @@
-//! Property-based fuzzing of the full machine: randomly generated SPMD
+//! Randomized fuzzing of the full machine: randomly generated SPMD
 //! programs must run to completion in every mode (no protocol deadlock,
-//! no lost wakeup) and be bit-for-bit deterministic.
+//! no lost wakeup) and be bit-for-bit deterministic. Generation uses the
+//! in-repo deterministic `SplitMix64`, so every CI run exercises the same
+//! kernels and failures reproduce from the seed alone.
 
-use proptest::prelude::*;
-
+use slipstream::kernel::SplitMix64;
 use slipstream::prog::{ArrayRef, BarrierId, Layout, LockId, Op, ProgBuilder};
 use slipstream::{run, ArSyncMode, ExecMode, RunSpec, SlipstreamConfig, TaskBuilderFn, Workload};
 
@@ -83,53 +84,51 @@ impl Workload for FuzzKernel {
     }
 }
 
-fn phase_strategy() -> impl Strategy<Value = Phase> {
-    (
-        proptest::collection::vec(0u8..4, 0..3),
-        0u64..24,
-        0u64..24,
-        0u32..400,
-        proptest::bool::ANY,
-    )
-        .prop_map(|(reads_from, read_lines, write_lines, compute, critical)| Phase {
-            reads_from,
-            read_lines,
-            write_lines,
-            compute,
-            critical,
-        })
+fn random_phase(rng: &mut SplitMix64) -> Phase {
+    let reads_from = (0..rng.next_below(3)).map(|_| rng.next_below(4) as u8).collect();
+    Phase {
+        reads_from,
+        read_lines: rng.next_below(24),
+        write_lines: rng.next_below(24),
+        compute: rng.next_below(400) as u32,
+        critical: rng.next_below(2) == 1,
+    }
 }
 
-fn kernel_strategy() -> impl Strategy<Value = FuzzKernel> {
-    (proptest::collection::vec(phase_strategy(), 1..6), 8u64..32)
-        .prop_map(|(phases, lines_per_task)| FuzzKernel { phases, lines_per_task })
+fn random_kernel(rng: &mut SplitMix64) -> FuzzKernel {
+    let phases = (0..1 + rng.next_below(5)).map(|_| random_phase(rng)).collect();
+    FuzzKernel { phases, lines_per_task: 8 + rng.next_below(24) }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Random kernels complete in every mode without deadlocking (the
-    /// machine panics on deadlock or non-quiescence) and produce positive,
-    /// internally consistent results.
-    #[test]
-    fn random_kernels_complete_in_all_modes(k in kernel_strategy()) {
+/// Random kernels complete in every mode without deadlocking (the machine
+/// panics on deadlock or non-quiescence) and produce positive, internally
+/// consistent results.
+#[test]
+fn random_kernels_complete_in_all_modes() {
+    let mut rng = SplitMix64::new(0xf022);
+    for case in 0..24 {
+        let k = random_kernel(&mut rng);
         for mode in [ExecMode::Single, ExecMode::Double, ExecMode::Slipstream] {
             let r = run(&k, &RunSpec::new(2, mode));
-            prop_assert!(r.exec_cycles > 0);
+            assert!(r.exec_cycles > 0, "case {case}: {mode:?} on {k:?}");
         }
     }
+}
 
-    /// Random kernels are deterministic under slipstream with every A-R
-    /// synchronization method.
-    #[test]
-    fn random_kernels_are_deterministic(k in kernel_strategy()) {
+/// Random kernels are deterministic under slipstream with every A-R
+/// synchronization method.
+#[test]
+fn random_kernels_are_deterministic() {
+    let mut rng = SplitMix64::new(0xd00d);
+    for case in 0..24 {
+        let k = random_kernel(&mut rng);
         for ar in ArSyncMode::ALL {
             let spec = RunSpec::new(2, ExecMode::Slipstream)
                 .with_slip(SlipstreamConfig::with_self_invalidation(ar));
             let a = run(&k, &spec);
             let b = run(&k, &spec);
-            prop_assert_eq!(a.exec_cycles, b.exec_cycles);
-            prop_assert_eq!(a.mem.net_messages, b.mem.net_messages);
+            assert_eq!(a.exec_cycles, b.exec_cycles, "case {case}, {ar:?}: {k:?}");
+            assert_eq!(a.mem.net_messages, b.mem.net_messages, "case {case}, {ar:?}");
         }
     }
 }
