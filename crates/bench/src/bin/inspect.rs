@@ -1,8 +1,35 @@
 //! Inspect one run: benchmark, node count, mode, A-R sync, SI — prints
 //! the stream time breakdowns and memory-system statistics.
 //!
-//! Usage: `inspect <BENCH> <NODES> <single|double|slip> [--quick] [--ar L1|L0|G1|G0] [--si]`
-use slipstream_core::{run, ArSyncMode, ExecMode, RunSpec, SlipstreamConfig};
+//! Usage: `inspect <BENCH> <NODES> <single|double|slip> [--quick]
+//!         [--ar L1|L0|G1|G0] [--si] [--json]
+//!         [--trace FILE] [--metrics FILE] [--interval N]`
+//!
+//! `--json` prints the full [`RunResult`] as one JSON object instead of
+//! the human-readable summary. `--trace FILE` writes a Chrome
+//! `trace_event` JSON of the run (open in Perfetto); `--metrics FILE`
+//! writes interval-metrics JSONL sampled every `--interval N` cycles
+//! (default 10000). See docs/observability.md.
+use slipstream_core::{
+    run_result_json, run_traced, ArSyncMode, ExecMode, RunSpec, SlipstreamConfig, TraceConfig,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: inspect <BENCH> <NODES> <single|double|slip> [--quick] \
+         [--ar L1|L0|G1|G0] [--si] [--json] [--trace FILE] [--metrics FILE] [--interval N]"
+    );
+    eprintln!(
+        "benchmarks: {}",
+        slipstream_workloads::quick_suite()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let name = args.first().map(|s| s.as_str()).unwrap_or("SOR");
@@ -13,21 +40,61 @@ fn main() {
         _ => ExecMode::Single,
     };
     let quick = args.iter().any(|a| a == "--quick");
-    let w = slipstream_workloads::by_name(name, quick).expect("benchmark");
-    let ar = match args.iter().position(|a| a == "--ar") {
-        Some(i) => match args[i + 1].as_str() {
-            "L1" => ArSyncMode::OneTokenLocal,
-            "L0" => ArSyncMode::ZeroTokenLocal,
-            "G0" => ArSyncMode::ZeroTokenGlobal,
-            _ => ArSyncMode::OneTokenGlobal,
-        },
-        None => ArSyncMode::OneTokenGlobal,
+    let Some(w) = slipstream_workloads::by_name(name, quick) else {
+        eprintln!("unknown benchmark: {name}");
+        usage();
+    };
+    // A flag that takes a value must have one (a trailing `--ar` would
+    // otherwise index out of bounds).
+    let flag_value = |flag: &str| -> Option<&String> {
+        args.iter().position(|a| a == flag).map(|i| match args.get(i + 1) {
+            Some(v) => v,
+            None => {
+                eprintln!("{flag} requires a value");
+                usage();
+            }
+        })
+    };
+    let ar = match flag_value("--ar").map(|s| s.as_str()) {
+        Some("L1") => ArSyncMode::OneTokenLocal,
+        Some("L0") => ArSyncMode::ZeroTokenLocal,
+        Some("G0") => ArSyncMode::ZeroTokenGlobal,
+        _ => ArSyncMode::OneTokenGlobal,
     };
     let mut slip = SlipstreamConfig::prefetch_only(ar);
     if args.iter().any(|a| a == "--si") {
         slip = SlipstreamConfig::with_self_invalidation(ar);
     }
-    let r = run(w.as_ref(), &RunSpec::new(nodes, mode).with_slip(slip));
+    let trace_path = flag_value("--trace").cloned();
+    let metrics_path = flag_value("--metrics").cloned();
+    let interval: u64 = match flag_value("--interval") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--interval requires a number, got {v}");
+            usage();
+        }),
+        None => 10_000,
+    };
+    let trace_cfg = TraceConfig {
+        events: trace_path.is_some(),
+        interval: if metrics_path.is_some() || trace_path.is_some() { interval } else { 0 },
+        ..TraceConfig::default()
+    };
+    let spec = RunSpec::new(nodes, mode).with_slip(slip).with_trace(trace_cfg);
+    let (r, trace) = run_traced(w.as_ref(), &spec);
+    if let Some(data) = &trace {
+        if let Some(path) = &trace_path {
+            std::fs::write(path, data.chrome_trace_json()).expect("write trace file");
+            eprintln!("wrote {path} ({} events, {} dropped)", data.records.len(), data.dropped);
+        }
+        if let Some(path) = &metrics_path {
+            std::fs::write(path, data.metrics_jsonl()).expect("write metrics file");
+            eprintln!("wrote {path} ({} samples)", data.samples.len());
+        }
+    }
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", run_result_json(&r));
+        return;
+    }
     println!("{} {} @{}: {} cycles, recoveries={}", name, mode, nodes, r.exec_cycles, r.recoveries);
     for role in [slipstream_core::StreamRole::Solo, slipstream_core::StreamRole::R, slipstream_core::StreamRole::A] {
         let b = r.avg_breakdown(role);

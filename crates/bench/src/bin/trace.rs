@@ -1,0 +1,121 @@
+//! Full observability capture for one run: structured event trace,
+//! interval metrics, and the hot-line profile — plus a determinism check
+//! that the traced run is bit-identical to an untraced one.
+//!
+//! Usage: `trace <BENCH> <NODES> <single|double|slip> [--quick]
+//!         [--ar L1|L0|G1|G0] [--si] [--interval N] [--top K] [--out DIR]`
+//!
+//! Writes to `--out DIR` (default `results/trace`):
+//!
+//! * `trace.json` — Chrome `trace_event` JSON; open at <https://ui.perfetto.dev>
+//! * `events.jsonl` — the same events as line-delimited JSON records
+//! * `metrics.jsonl` — interval metrics (one object per `--interval` cycles)
+//! * `hotlines.txt` — top-K lines by coherence activity
+//!
+//! After capturing, the same spec is re-run untraced and the two
+//! [`RunResult`]s are compared; a mismatch means tracing perturbed the
+//! simulation and the process exits nonzero (CI runs this as a smoke
+//! test). See docs/observability.md for the schemas.
+use slipstream_core::{run, run_traced, ArSyncMode, ExecMode, RunSpec, SlipstreamConfig, TraceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace <BENCH> <NODES> <single|double|slip> [--quick] \
+         [--ar L1|L0|G1|G0] [--si] [--interval N] [--top K] [--out DIR]"
+    );
+    eprintln!(
+        "benchmarks: {}",
+        slipstream_workloads::quick_suite()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(|s| s.as_str()).unwrap_or("SOR");
+    let nodes: u16 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let mode = match args.get(2).map(|s| s.as_str()) {
+        Some("double") => ExecMode::Double,
+        Some("slip") | None => ExecMode::Slipstream,
+        _ => ExecMode::Single,
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let Some(w) = slipstream_workloads::by_name(name, quick) else {
+        eprintln!("unknown benchmark: {name}");
+        usage();
+    };
+    let flag_value = |flag: &str| -> Option<&String> {
+        args.iter().position(|a| a == flag).map(|i| match args.get(i + 1) {
+            Some(v) => v,
+            None => {
+                eprintln!("{flag} requires a value");
+                usage();
+            }
+        })
+    };
+    let parse_num = |flag: &str, default: u64| -> u64 {
+        match flag_value(flag) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} requires a number, got {v}");
+                usage();
+            }),
+            None => default,
+        }
+    };
+    let ar = match flag_value("--ar").map(|s| s.as_str()) {
+        Some("L1") => ArSyncMode::OneTokenLocal,
+        Some("L0") => ArSyncMode::ZeroTokenLocal,
+        Some("G0") => ArSyncMode::ZeroTokenGlobal,
+        _ => ArSyncMode::OneTokenGlobal,
+    };
+    let mut slip = SlipstreamConfig::prefetch_only(ar);
+    if args.iter().any(|a| a == "--si") {
+        slip = SlipstreamConfig::with_self_invalidation(ar);
+    }
+    let interval = parse_num("--interval", 10_000);
+    let top_k = parse_num("--top", 32) as usize;
+    let out_dir = flag_value("--out").cloned().unwrap_or_else(|| "results/trace".to_string());
+
+    let cfg = TraceConfig { top_k, ..TraceConfig::full(interval) };
+    let spec = RunSpec::new(nodes, mode).with_slip(slip).with_trace(cfg);
+    let (result, data) = run_traced(w.as_ref(), &spec);
+    let data = data.expect("trace config is enabled");
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let write = |file: &str, contents: String| {
+        let path = format!("{out_dir}/{file}");
+        std::fs::write(&path, contents).expect("write output file");
+        println!("wrote {path}");
+    };
+    write("trace.json", data.chrome_trace_json());
+    write("events.jsonl", data.events_jsonl());
+    write("metrics.jsonl", data.metrics_jsonl());
+    write("hotlines.txt", data.hotline_report(top_k));
+
+    println!(
+        "{}: {} events recorded ({} dropped), {} samples, \
+         {} lines profiled, queue pushed={} peak={}",
+        result,
+        data.records.len(),
+        data.dropped,
+        data.samples.len(),
+        data.hot.len(),
+        data.queue_total_pushed,
+        data.queue_high_water,
+    );
+
+    // Determinism check: tracing must be observation-only. Re-run the
+    // exact spec untraced and require a bit-identical result.
+    let untraced = run(w.as_ref(), &RunSpec { trace: TraceConfig::default(), ..spec });
+    if untraced != result {
+        eprintln!("DETERMINISM VIOLATION: traced and untraced runs differ");
+        eprintln!("  traced:   {} cycles, {} recoveries", result.exec_cycles, result.recoveries);
+        eprintln!("  untraced: {} cycles, {} recoveries", untraced.exec_cycles, untraced.recoveries);
+        std::process::exit(1);
+    }
+    println!("determinism check passed: traced run identical to untraced run");
+}

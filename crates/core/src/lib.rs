@@ -56,12 +56,17 @@ mod machine;
 mod report;
 mod runner;
 mod stream;
+mod trace;
 mod workload;
 
 pub use machine::Machine;
 pub use report::{RunResult, StreamReport, TimeBreakdown};
-pub use runner::{run, run_sequential, RunSpec};
+pub use runner::{run, run_sequential, run_traced, RunSpec};
 pub use stream::{BlockKind, StreamState};
+pub use trace::{
+    run_result_json, AccessCounts, IntervalSample, LineCounters, TraceConfig, TraceData,
+    TraceKind, TraceRecord,
+};
 pub use workload::{TaskBuilderFn, Workload};
 
 // Re-exports so downstream crates can configure runs without importing the

@@ -1,3 +1,5 @@
+use std::rc::Rc;
+
 use slipstream_kernel::config::{ArSyncMode, ExecMode, MachineConfig, SlipstreamConfig};
 use slipstream_kernel::{Cycle, EventQueue, TaskId};
 use slipstream_mem::{
@@ -7,6 +9,7 @@ use slipstream_prog::{Op, ProgramIter, Space};
 
 use crate::report::{RunResult, StreamReport};
 use crate::stream::{BlockKind, PairState, StreamExec, StreamState};
+use crate::trace::{IntervalSample, TraceConfig, TraceData, TraceKind, TraceState};
 
 /// Global simulation events: memory-system internals plus processor
 /// resumptions. `epoch` guards against stale resumes after an A-stream is
@@ -59,6 +62,10 @@ pub struct Machine {
     name: String,
     nodes: u16,
     tasks: usize,
+    /// Live trace collection, when the run is traced ([`TraceConfig`]
+    /// enabled). `None` on the default path: no buffer exists and the
+    /// main loop pays one `Option` check per event.
+    trace: Option<TraceState>,
 }
 
 impl Machine {
@@ -70,13 +77,21 @@ impl Machine {
         cfg: MachineConfig,
         slip: SlipstreamConfig,
         mode: ExecMode,
-        mem: MemSystem,
+        mut mem: MemSystem,
         streams: Vec<StreamExec>,
         pairs: Vec<PairState>,
         quantum_cycles: u64,
         input_cycles: u64,
         tasks: usize,
+        trace_cfg: TraceConfig,
     ) -> Machine {
+        let trace = if trace_cfg.enabled() {
+            let (state, recorder) = TraceState::new(trace_cfg);
+            mem.set_tracer(Box::new(recorder));
+            Some(state)
+        } else {
+            None
+        };
         let mut cpu_map = vec![None; cfg.nodes as usize * 2];
         for (i, s) in streams.iter().enumerate() {
             let slot = s.cpu.flat(2);
@@ -105,6 +120,7 @@ impl Machine {
             name,
             nodes,
             tasks,
+            trace,
         }
     }
 
@@ -115,7 +131,15 @@ impl Machine {
     /// Panics if the run deadlocks (streams blocked with an empty event
     /// queue) or the memory system fails its quiescence check — both
     /// indicate bugs, not valid results.
-    pub fn run(mut self) -> RunResult {
+    pub fn run(self) -> RunResult {
+        self.run_traced().0
+    }
+
+    /// Runs the machine to completion, additionally returning the
+    /// collected [`TraceData`] when the machine was assembled with an
+    /// enabled [`TraceConfig`]. The [`RunResult`] is bit-identical to an
+    /// untraced run: tracing is observation only.
+    pub fn run_traced(mut self) -> (RunResult, Option<TraceData>) {
         // A-streams start first: at equal timestamps the reduced stream
         // must get to run ahead, or an R-stream with an empty first session
         // would misread it as deviated before it ever executed.
@@ -133,6 +157,9 @@ impl Machine {
         let mut host_events: u64 = 0;
         while let Some((t, ev)) = self.q.pop() {
             host_events += 1;
+            if self.trace.as_ref().is_some_and(|ts| t >= ts.next_sample) {
+                self.take_samples(t, host_events);
+            }
             match ev {
                 Ev::Resume { stream, epoch } => {
                     if self.epochs[stream] == epoch
@@ -178,6 +205,28 @@ impl Machine {
             .map(|s| s.finish.expect("finished").raw())
             .max()
             .unwrap_or(0);
+        // Package collected trace state. Must happen before `take_stats`
+        // below: the closing interval sample snapshots the live counters.
+        let trace = self.trace.take().map(|mut ts| {
+            if ts.cfg.interval > 0 {
+                let sample = self.sample_at(exec_cycles, host_events);
+                ts.samples.push(sample);
+            }
+            // Drop the memory system's recorder so ours is the only
+            // handle left on the shared buffer.
+            drop(self.mem.clear_tracer());
+            let buf = Rc::try_unwrap(ts.buf)
+                .expect("trace buffer uniquely owned once the recorder is detached")
+                .into_inner();
+            TraceData::assemble(
+                ts.cfg,
+                buf,
+                ts.samples,
+                self.q.total_pushed(),
+                self.q.high_water(),
+                exec_cycles,
+            )
+        });
         let streams = self
             .streams
             .iter()
@@ -189,7 +238,7 @@ impl Machine {
                 breakdown: s.breakdown,
             })
             .collect();
-        RunResult {
+        let result = RunResult {
             name: self.name,
             mode: self.mode,
             nodes: self.nodes,
@@ -199,6 +248,48 @@ impl Machine {
             mem: self.mem.take_stats(),
             recoveries: self.recoveries,
             host_events,
+        };
+        (result, trace)
+    }
+
+    // ------------------------------------------------------------------
+    // Trace collection
+    // ------------------------------------------------------------------
+
+    /// Records a machine-level trace event (recoveries, session ends).
+    fn trace_event(&mut self, t: Cycle, kind: TraceKind) {
+        if let Some(ts) = self.trace.as_ref() {
+            ts.buf.borrow_mut().push(t, kind);
+        }
+    }
+
+    /// Emits interval samples for every boundary at or before `t`.
+    fn take_samples(&mut self, t: Cycle, host_events: u64) {
+        let Some(mut ts) = self.trace.take() else { return };
+        if ts.cfg.interval > 0 {
+            while t >= ts.next_sample {
+                let sample = self.sample_at(ts.next_sample.raw(), host_events);
+                ts.samples.push(sample);
+                ts.next_sample += ts.cfg.interval;
+            }
+        }
+        self.trace = Some(ts);
+    }
+
+    /// Snapshots run state as of `cycle` (counters are cumulative).
+    fn sample_at(&self, cycle: u64, host_events: u64) -> IntervalSample {
+        IntervalSample {
+            cycle,
+            stats: self.mem.stats().clone(),
+            run_ahead: self
+                .pairs
+                .iter()
+                .map(|p| p.a_session as i64 - p.r_session as i64)
+                .collect(),
+            tokens: self.pairs.iter().map(|p| p.tokens).collect(),
+            queue_len: self.q.len(),
+            host_events,
+            recoveries: self.recoveries,
         }
     }
 
@@ -232,6 +323,7 @@ impl Machine {
             };
             if exact && local > now {
                 self.streams[i].pending_op = Some(op);
+                self.streams[i].frontier = local;
                 let epoch = self.epochs[i];
                 self.q.push(local, Ev::Resume { stream: i, epoch });
                 return;
@@ -245,6 +337,7 @@ impl Machine {
                 Step::Blocked => return,
             }
             if ops >= self.cfg.quantum_ops || (local - now).raw() >= self.quantum_cycles {
+                self.streams[i].frontier = local;
                 let epoch = self.epochs[i];
                 self.q.push(local, Ev::Resume { stream: i, epoch });
                 return;
@@ -366,6 +459,7 @@ impl Machine {
                         self.streams[i].pending_op = Some(op);
                         self.streams[i].state = StreamState::WaitInput;
                         self.streams[i].blocked_at = at;
+                        self.streams[i].frontier = at;
                         Step::Blocked
                     }
                 } else {
@@ -419,6 +513,7 @@ impl Machine {
             self.streams[i].pending_op = Some(op);
             self.streams[i].state = StreamState::WaitToken;
             self.streams[i].blocked_at = at;
+            self.streams[i].frontier = at;
             return Step::Blocked;
         }
         if role == StreamRole::R {
@@ -443,6 +538,11 @@ impl Machine {
             // rather than transparent loads (matches the paper's ~27%
             // average transparent fraction, Figure 9).
             self.pairs[p].r_session += 1;
+            if self.trace.is_some() {
+                let node = self.streams[i].cpu.node();
+                let session = self.pairs[p].r_session;
+                self.trace_event(at, TraceKind::SessionEnd { node, session });
+            }
             self.adapt_step(p, at);
             if self.pairs[p].method.insert_on_entry() {
                 self.insert_token(p, at);
@@ -477,6 +577,39 @@ impl Machine {
         }
         self.recoveries += 1;
         let a_idx = self.pairs[p].a_idx;
+        self.trace_event(
+            now,
+            TraceKind::Recovery {
+                node: self.streams[a_idx].cpu.node(),
+                r_session: self.pairs[p].r_session,
+                a_session: self.pairs[p].a_session,
+            },
+        );
+        // Close out the killed A-stream's time accounting before resetting
+        // it: any open wait ends here (classified as A-R synchronization —
+        // the stream was stalled by the pairing protocol, not by its own
+        // work), and the gap until the reforked copy restarts is recovery
+        // overhead, also A-R synchronization. If the stream had busy time
+        // pre-accounted beyond the restart point (it was mid-quantum), that
+        // work is discarded with the kill, so the excess is returned.
+        {
+            let a = &mut self.streams[a_idx];
+            match a.state {
+                StreamState::Blocked(_, kind) => a.attribute_wait(kind, now),
+                StreamState::WaitToken | StreamState::WaitInput => {
+                    a.attribute_wait(BlockKind::ArSync, now)
+                }
+                StreamState::Ready => {}
+                StreamState::Done => unreachable!("deviation check excludes finished A-streams"),
+            }
+            let restart = now + self.slip.refork_penalty;
+            if restart >= a.frontier {
+                a.breakdown.ar_sync += restart.since(a.frontier).raw();
+            } else {
+                a.breakdown.busy -= a.frontier.since(restart).raw();
+            }
+            a.frontier = restart;
+        }
         // Fork semantics: the new A-stream is a copy of the R-stream at
         // its current position (it has just consumed the session-ending
         // sync op, which the A-stream would skip anyway).
@@ -554,6 +687,7 @@ impl Machine {
     fn finish_stream(&mut self, i: usize, at: Cycle) {
         self.streams[i].state = StreamState::Done;
         self.streams[i].finish = Some(at);
+        self.streams[i].frontier = at;
         if self.streams[i].role == StreamRole::R {
             if let Some(p) = self.streams[i].pair {
                 self.pairs[p].r_done = true;

@@ -62,7 +62,10 @@ impl fmt::Display for TimeBreakdown {
 }
 
 /// Final accounting for one stream (one processor's task copy).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` exists so tests (and the `trace` binary) can assert that a
+/// traced run is bit-identical to an untraced one.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamReport {
     /// The processor the stream ran on.
     pub cpu: CpuId,
@@ -77,7 +80,7 @@ pub struct StreamReport {
 }
 
 /// The complete result of one simulated run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunResult {
     /// Workload name.
     pub name: String,

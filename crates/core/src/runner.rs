@@ -6,6 +6,7 @@ use slipstream_prog::{InstanceId, Layout};
 use crate::machine::Machine;
 use crate::report::RunResult;
 use crate::stream::{PairState, StreamExec};
+use crate::trace::{TraceConfig, TraceData};
 use crate::workload::Workload;
 
 /// Everything needed to run one experiment: machine size, execution mode,
@@ -26,6 +27,9 @@ pub struct RunSpec {
     pub quantum_cycles: u64,
     /// Cost of an `Input` operation (system call / I/O) in the R-stream.
     pub input_cycles: u64,
+    /// Observability configuration. Default: everything off, in which case
+    /// the run is untraced and pays no collection cost.
+    pub trace: TraceConfig,
 }
 
 impl RunSpec {
@@ -39,6 +43,7 @@ impl RunSpec {
             machine: None,
             quantum_cycles: 200,
             input_cycles: 500,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -51,6 +56,12 @@ impl RunSpec {
     /// Overrides the machine description.
     pub fn with_machine(mut self, machine: MachineConfig) -> RunSpec {
         self.machine = Some(machine);
+        self
+    }
+
+    /// Enables observability collection for the run (see [`TraceConfig`]).
+    pub fn with_trace(mut self, trace: TraceConfig) -> RunSpec {
+        self.trace = trace;
         self
     }
 }
@@ -68,6 +79,13 @@ impl RunSpec {
 /// Panics on deadlock or a protocol invariant violation (these are bugs,
 /// not measurements).
 pub fn run(workload: &dyn Workload, spec: &RunSpec) -> RunResult {
+    run_traced(workload, spec).0
+}
+
+/// Like [`run`], but also returns the collected [`TraceData`] when
+/// `spec.trace` enables any collection (`None` otherwise). The
+/// [`RunResult`] is bit-identical either way: tracing only observes.
+pub fn run_traced(workload: &dyn Workload, spec: &RunSpec) -> (RunResult, Option<TraceData>) {
     let mut cfg = spec.machine.clone().unwrap_or_else(|| {
         if workload.small_l2() {
             MachineConfig::water(spec.nodes)
@@ -166,8 +184,9 @@ pub fn run(workload: &dyn Workload, spec: &RunSpec) -> RunResult {
         spec.quantum_cycles,
         spec.input_cycles,
         ntasks,
+        spec.trace,
     )
-    .run()
+    .run_traced()
 }
 
 /// Runs the sequential baseline: the whole problem as one task on a

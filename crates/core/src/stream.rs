@@ -53,6 +53,12 @@ pub(crate) struct StreamExec {
     /// Number of `Input` results this A-stream has consumed.
     pub inputs_taken: u64,
     pub breakdown: TimeBreakdown,
+    /// Simulated time through which `breakdown` accounts. The machine
+    /// advances it at every yield, block, and wake, maintaining the
+    /// invariant `breakdown.total() == frontier` whenever the stream is
+    /// quiescent — so at the end of the run `total()` equals `finish`
+    /// exactly (the accounting invariant tests rely on this).
+    pub frontier: Cycle,
     pub finish: Option<Cycle>,
 }
 
@@ -76,6 +82,7 @@ impl StreamExec {
             lock_depth: 0,
             inputs_taken: 0,
             breakdown: TimeBreakdown::default(),
+            frontier: Cycle::ZERO,
             finish: None,
         }
     }
@@ -85,6 +92,7 @@ impl StreamExec {
         debug_assert_eq!(self.state, StreamState::Ready);
         self.state = StreamState::Blocked(token, kind);
         self.blocked_at = at;
+        self.frontier = at;
     }
 
     /// Attributes the wait ending at `now` to the proper category.
@@ -96,6 +104,7 @@ impl StreamExec {
             BlockKind::Lock => self.breakdown.lock += wait,
             BlockKind::ArSync => self.breakdown.ar_sync += wait,
         }
+        self.frontier = now;
     }
 
     /// Whether this stream is parked at a session boundary (used by the

@@ -31,6 +31,7 @@ use crate::Cycle;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    high_water: usize,
 }
 
 /// `key` packs `(time << 64) | seq`: one `u128` comparison orders by time,
@@ -76,12 +77,12 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> EventQueue<E> {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, high_water: 0 }
     }
 
     /// Creates an empty queue with room for `cap` pending events.
     pub fn with_capacity(cap: usize) -> EventQueue<E> {
-        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0, high_water: 0 }
     }
 
     /// Reserves room for at least `additional` more pending events.
@@ -94,6 +95,12 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { key: pack(at, seq), event });
+        // Peak-depth tracking for the observability layer. The branch is
+        // almost never taken in steady state, so it stays off the critical
+        // path's dependency chain.
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
@@ -124,6 +131,16 @@ impl<E> EventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Total number of events pushed over the queue's lifetime.
+    pub fn total_pushed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Maximum number of events ever pending at once (peak queue depth).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -193,6 +210,21 @@ mod tests {
         assert_eq!(q.pop_if_at(Cycle(10)), None); // 'b' is later
         assert_eq!(q.pop_if_at(Cycle(100)), Some((Cycle(20), 'b')));
         assert_eq!(q.pop_if_at(Cycle(100)), None); // empty
+    }
+
+    #[test]
+    fn lifetime_counters_track_pushes_and_peak_depth() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.total_pushed(), 0);
+        assert_eq!(q.high_water(), 0);
+        q.push(Cycle(1), 'a');
+        q.push(Cycle(2), 'b');
+        q.push(Cycle(3), 'c');
+        q.pop();
+        q.pop();
+        q.push(Cycle(4), 'd');
+        assert_eq!(q.total_pushed(), 4);
+        assert_eq!(q.high_water(), 3); // peak was three pending at once
     }
 
     #[test]

@@ -40,9 +40,11 @@ mod msg;
 mod stats;
 mod sync;
 mod system;
+mod trace;
 
 pub use classify::{ClassCounts, RequestClass};
 pub use home::HomeMap;
 pub use msg::{AccessKind, Completion, MemEvent, StreamRole, SyncOp, Token};
 pub use stats::MemStats;
 pub use system::{Access, MemSched, MemSystem};
+pub use trace::{AccessOutcome, MemTracer, TracePerm};

@@ -60,6 +60,14 @@ pub struct MemStats {
 }
 
 impl MemStats {
+    /// Total data accesses that reached the memory system. Every access
+    /// resolves as exactly one of L1 hit, L2 hit, or L2 miss (merged
+    /// misses are a subset of `l2_misses`), so this is also the accounting
+    /// identity the `slipstream-core` invariant tests check.
+    pub fn data_accesses(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.l2_misses
+    }
+
     /// Fraction of A-stream read transactions issued transparently
     /// (Figure 9's y-axis), in percent.
     pub fn transparent_pct(&self) -> f64 {

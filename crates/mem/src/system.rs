@@ -11,6 +11,7 @@ use crate::l2::{L2Cache, L2Line, L2State, Mshr, Waiter};
 use crate::msg::{AccessKind, Completion, MemEvent, Msg, MsgKind, StreamRole, SyncOp, Token};
 use crate::stats::MemStats;
 use crate::sync::{SyncCtl, SyncOutcome};
+use crate::trace::{AccessOutcome, MemTracer, TracePerm};
 
 /// Where the memory system schedules its internal events.
 ///
@@ -144,6 +145,9 @@ pub struct MemSystem {
     stats: MemStats,
     next_token: u64,
     si_interval: u64,
+    /// Observability hook ([`MemTracer`]); `None` on the default path, so
+    /// tracing costs one branch per hook site when disabled.
+    tracer: Option<Box<dyn MemTracer>>,
 }
 
 fn bit(n: NodeId) -> u32 {
@@ -190,6 +194,34 @@ impl MemSystem {
             stats: MemStats::default(),
             next_token: 0,
             si_interval: 4,
+            tracer: None,
+        }
+    }
+
+    /// Installs an observability hook. Tracers are purely observational —
+    /// see [`MemTracer`] — so installing one never changes simulated
+    /// behavior.
+    pub fn set_tracer(&mut self, tracer: Box<dyn MemTracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes and returns the installed tracer, if any.
+    pub fn clear_tracer(&mut self) -> Option<Box<dyn MemTracer>> {
+        self.tracer.take()
+    }
+
+    #[inline]
+    fn trace_access(
+        &mut self,
+        now: Cycle,
+        cpu: CpuId,
+        role: StreamRole,
+        kind: AccessKind,
+        line: LineAddr,
+        outcome: AccessOutcome,
+    ) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.access(now, cpu, role, kind, line, outcome);
         }
     }
 
@@ -284,8 +316,10 @@ impl MemSystem {
     ) -> Access {
         let n = cpu.node().idx();
         let core = cpu.core() as usize;
+        let kind = if trans { AccessKind::TransparentRead } else { AccessKind::Read };
         if self.nodes[n].l1[core].lookup(line).is_some() {
             self.stats.l1_hits += 1;
+            self.trace_access(now, cpu, role, kind, line, AccessOutcome::L1Hit);
             return Access::HitL1;
         }
         // L2 lookup.
@@ -309,6 +343,7 @@ impl MemSystem {
         }
         if l2_hit {
             self.stats.l2_hits += 1;
+            self.trace_access(now, cpu, role, kind, line, AccessOutcome::L2Hit);
             self.fill_l1(cpu, line, L1State::Shared);
             let token = self.token();
             sched.sched(now + self.lat.l2_hit, MemEvent::L2Done { cpu, token });
@@ -320,10 +355,12 @@ impl MemSystem {
         let waiter = Waiter { cpu, token };
         let node_id = cpu.node();
         let mut launch: Option<MsgKind> = None;
+        let mut merged = false;
         {
             let mshrs = &mut self.nodes[n].l2.mshrs;
             if let Some(mshr) = mshrs.get_mut(&line) {
                 self.stats.merged_misses += 1;
+                merged = true;
                 merge_classify(&mut self.stats, mshr, role);
                 if role.is_a() {
                     // Any fill (transparent or coherent) satisfies an A read.
@@ -367,6 +404,8 @@ impl MemSystem {
                 launch = Some(kind);
             }
         }
+        let outcome = if merged { AccessOutcome::MissMerged } else { AccessOutcome::MissNew };
+        self.trace_access(now, cpu, role, kind, line, outcome);
         if let Some(kind) = launch {
             self.issue_txn(now, node_id, line, kind, sched);
         }
@@ -388,6 +427,7 @@ impl MemSystem {
         let core = cpu.core() as usize;
         if self.nodes[n].l1[core].lookup(line) == Some(L1State::Modified) {
             self.stats.l1_hits += 1;
+            self.trace_access(now, cpu, role, AccessKind::Write, line, AccessOutcome::L1Hit);
             return Access::HitL1;
         }
         let node_id = cpu.node();
@@ -419,16 +459,19 @@ impl MemSystem {
         }
         if grant {
             self.stats.l2_hits += 1;
+            self.trace_access(now, cpu, role, AccessKind::Write, line, AccessOutcome::L2Hit);
             self.fill_l1(cpu, line, L1State::Modified);
             sched.sched(now + self.lat.l2_hit, MemEvent::L2Done { cpu, token });
             return Access::Pending(token);
         }
         self.stats.l2_misses += 1;
         let mut launch: Option<MsgKind> = None;
+        let mut merged = false;
         {
             let l2 = &mut self.nodes[n].l2;
             if let Some(mshr) = l2.mshrs.get_mut(&line) {
                 self.stats.merged_misses += 1;
+                merged = true;
                 merge_classify(&mut self.stats, mshr, role);
                 mshr.store_waiters.push(waiter);
                 mshr.store_in_cs |= in_cs;
@@ -464,6 +507,8 @@ impl MemSystem {
                 launch = Some(MsgKind::ReadExclReq { line, from: node_id, role, had_shared });
             }
         }
+        let outcome = if merged { AccessOutcome::MissMerged } else { AccessOutcome::MissNew };
+        self.trace_access(now, cpu, role, AccessKind::Write, line, outcome);
         if let Some(kind) = launch {
             self.issue_txn(now, node_id, line, kind, sched);
         }
@@ -479,27 +524,49 @@ impl MemSystem {
     ) -> Access {
         let n = cpu.node().idx();
         let node_id = cpu.node();
-        let had_shared;
-        {
+        // `Some(had_shared)` if the prefetch should be issued; `None` if it
+        // is dropped (a request already in flight, or the line is owned).
+        let issue: Option<bool> = {
             let l2 = &mut self.nodes[n].l2;
             if l2.mshrs.contains_key(&line) {
-                return Access::Accepted; // something already in flight
-            }
-            had_shared = match l2.get(line) {
-                Some(e) if e.state == L2State::Exclusive && !e.transparent => {
-                    return Access::Accepted; // already owned
+                None // something already in flight
+            } else {
+                let had_shared = match l2.get(line) {
+                    Some(e) if e.state == L2State::Exclusive && !e.transparent => None, // owned
+                    Some(e) => Some(!e.transparent),
+                    None => Some(false),
+                };
+                if had_shared.is_some() {
+                    let mut mshr = Mshr::new();
+                    mshr.excl_pending = true;
+                    mshr.excl_is_prefetch = true;
+                    mshr.open_excl = Some(OpenReq::new(StreamRole::A));
+                    l2.mshrs.insert(line, mshr);
                 }
-                Some(e) => !e.transparent,
-                None => false,
-            };
-            let mut mshr = Mshr::new();
-            mshr.excl_pending = true;
-            mshr.excl_is_prefetch = true;
-            mshr.open_excl = Some(OpenReq::new(StreamRole::A));
-            l2.mshrs.insert(line, mshr);
-        }
+                had_shared
+            }
+        };
+        let Some(had_shared) = issue else {
+            self.trace_access(
+                now,
+                cpu,
+                StreamRole::A,
+                AccessKind::ExclPrefetch,
+                line,
+                AccessOutcome::PrefetchDropped,
+            );
+            return Access::Accepted;
+        };
         self.stats.excl_txns += 1;
         self.stats.excl_prefetches += 1;
+        self.trace_access(
+            now,
+            cpu,
+            StreamRole::A,
+            AccessKind::ExclPrefetch,
+            line,
+            AccessOutcome::PrefetchIssued,
+        );
         self.issue_txn(
             now,
             node_id,
@@ -692,8 +759,15 @@ impl MemSystem {
                 let (op, cpu, token) = (*op, *cpu, *token);
                 let home = msg.dst;
                 match self.sync.handle(op, cpu, token) {
-                    SyncOutcome::Queued => {}
+                    SyncOutcome::Queued => {
+                        if let Some(t) = self.tracer.as_deref_mut() {
+                            t.sync_event(now, cpu, op, 0);
+                        }
+                    }
                     SyncOutcome::Grant(grants) => {
+                        if let Some(t) = self.tracer.as_deref_mut() {
+                            t.sync_event(now, cpu, op, grants.len() as u32);
+                        }
                         for (gcpu, gtoken) in grants {
                             let gm = Msg {
                                 src: home,
@@ -729,6 +803,7 @@ impl MemSystem {
             return;
         }
         let mut retry = false;
+        let perm_before = dl.perm;
         // Dissolve the message so the kind can be matched by move (no
         // per-message clone on the directory hot path); src/dst stay
         // available for the one arm that re-queues the message.
@@ -757,7 +832,12 @@ impl MemSystem {
                     }
                     Perm::Excl(owner) if owner != from => {
                         self.stats.interventions += 1;
-                        if self.migratory_opt && dl.migratory() && !role.is_a() {
+                        let migratory_grant =
+                            self.migratory_opt && dl.migratory() && !role.is_a();
+                        if let Some(t) = self.tracer.as_deref_mut() {
+                            t.intervention(now, line, owner, from, migratory_grant);
+                        }
+                        if migratory_grant {
                             // Migratory optimization: the reader will write
                             // next, so transfer ownership outright and save
                             // its upgrade.
@@ -845,6 +925,9 @@ impl MemSystem {
                         for i in 0..32u32 {
                             if targets & (1 << i) != 0 {
                                 let to = NodeId(i as u16);
+                                if let Some(t) = self.tracer.as_deref_mut() {
+                                    t.invalidation(now, line, to);
+                                }
                                 let inv =
                                     Msg { src: home, dst: to, kind: MsgKind::Inv { line, to } };
                                 self.route(now, inv, sched);
@@ -858,6 +941,9 @@ impl MemSystem {
                     }
                     Perm::Excl(owner) if owner != from => {
                         self.stats.interventions += 1;
+                        if let Some(t) = self.tracer.as_deref_mut() {
+                            t.intervention(now, line, owner, from, true);
+                        }
                         dl.busy = Some(PendingTxn {
                             requester: from,
                             excl: true,
@@ -894,6 +980,10 @@ impl MemSystem {
                         // not blocked and the sharing list is untouched.
                         self.stats.transparent_replies += 1;
                         self.stats.si_hints += 1;
+                        if let Some(t) = self.tracer.as_deref_mut() {
+                            t.transparent_reply(now, line, from);
+                            t.si_hint(now, line, owner);
+                        }
                         let reply =
                             Msg { src: home, dst: from, kind: MsgKind::TransReply { line, to: from } };
                         let done = self.mem_access(home, now);
@@ -906,6 +996,9 @@ impl MemSystem {
                         // Transparent request from the believed owner:
                         // upgrade to a normal exclusive re-grant.
                         self.stats.upgraded_replies += 1;
+                        if let Some(t) = self.tracer.as_deref_mut() {
+                            t.transparent_upgrade(now, line, from);
+                        }
                         dl.busy = Some(mem_wait(from, false));
                         let reply = data_reply(home, from, line, true, false);
                         let done = self.mem_access(home, now);
@@ -914,6 +1007,9 @@ impl MemSystem {
                     Perm::Uncached => {
                         // Upgraded to a normal (shared) load (§4.1).
                         self.stats.upgraded_replies += 1;
+                        if let Some(t) = self.tracer.as_deref_mut() {
+                            t.transparent_upgrade(now, line, from);
+                        }
                         dl.perm = Perm::Shared(bit(from));
                         dl.busy = Some(mem_wait(from, false));
                         let reply = data_reply(home, from, line, false, false);
@@ -922,6 +1018,9 @@ impl MemSystem {
                     }
                     Perm::Shared(s) => {
                         self.stats.upgraded_replies += 1;
+                        if let Some(t) = self.tracer.as_deref_mut() {
+                            t.transparent_upgrade(now, line, from);
+                        }
                         dl.perm = Perm::Shared(s | bit(from));
                         dl.busy = Some(mem_wait(from, false));
                         let reply = data_reply(home, from, line, false, false);
@@ -932,6 +1031,9 @@ impl MemSystem {
             }
             MsgKind::WritebackDirty { from, .. } => {
                 self.stats.writebacks += 1;
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.writeback(now, line, from);
+                }
                 // The line's data is written to memory (consumes bank
                 // bandwidth even though nobody waits on it).
                 self.mem_write(home, now);
@@ -1037,6 +1139,11 @@ impl MemSystem {
                 }
             }
             other => unreachable!("non-directory message {other:?} in handle_dir"),
+        }
+        if dl.perm != perm_before {
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.dir_transition(now, line, trace_perm(perm_before), trace_perm(dl.perm), msg_src);
+            }
         }
         self.dir.insert(line, dl);
         if retry {
@@ -1163,6 +1270,9 @@ impl MemSystem {
             Some(m) => m,
             None => return, // stale reply; drop
         };
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.fill(now, node, line, excl, false);
+        }
         // A coherent fill supersedes everything outstanding for the line,
         // including a transparent request the directory upgraded (its
         // duplicate reply, if any, is dropped against the missing MSHR).
@@ -1293,6 +1403,9 @@ impl MemSystem {
             Some(m) => m,
             None => return,
         };
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.fill(now, node, line, false, true);
+        }
         mshr.trans_pending = false;
         let resident = self.nodes[n].l2.get(line).is_some();
         let mut victim = None;
@@ -1486,6 +1599,9 @@ impl MemSystem {
             };
             self.send_from_l2(now, Msg { src: node, dst: home, kind }, sched);
             self.stats.si_invalidations += 1;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.si_action(now, node, line, true);
+            }
         } else {
             // Producer-consumer: write back and downgrade to shared.
             {
@@ -1502,6 +1618,9 @@ impl MemSystem {
             let kind = MsgKind::DowngradeWb { line, from: node };
             self.send_from_l2(now, Msg { src: node, dst: home, kind }, sched);
             self.stats.si_downgrades += 1;
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.si_action(now, node, line, false);
+            }
         }
         // Rate limit: one line per si_interval cycles.
         let next = now + self.si_interval;
@@ -1574,6 +1693,14 @@ impl MemSystem {
             return Err("sync controller not quiescent".to_string());
         }
         Ok(())
+    }
+}
+
+fn trace_perm(p: Perm) -> TracePerm {
+    match p {
+        Perm::Uncached => TracePerm::Uncached,
+        Perm::Shared(s) => TracePerm::Shared { sharers: s },
+        Perm::Excl(o) => TracePerm::Excl { owner: o },
     }
 }
 

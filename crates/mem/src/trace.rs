@@ -1,0 +1,157 @@
+//! Observability hooks for the memory system.
+//!
+//! [`MemTracer`] is the hook trait the machine loop (or a test) installs
+//! into [`crate::MemSystem`] via [`crate::MemSystem::set_tracer`]. Every
+//! method has an empty default body, so an implementor only overrides the
+//! events it cares about. With no tracer installed the memory system pays
+//! exactly one `Option` branch per hook site — no allocation, no virtual
+//! call — keeping the default simulation path unperturbed.
+//!
+//! The hooks are *observations*: they receive copies of protocol-level
+//! facts (cycle, line, nodes, roles) and must not feed anything back into
+//! the simulation. Determinism therefore holds by construction: a run with
+//! a tracer installed produces bit-identical results to a run without one,
+//! which `slipstream-core`'s accounting tests assert.
+
+use slipstream_kernel::{CpuId, Cycle, LineAddr, NodeId};
+
+use crate::msg::{AccessKind, StreamRole, SyncOp};
+
+/// How a processor-side access was resolved at issue time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Served by the issuing core's L1.
+    L1Hit,
+    /// Served by the node's shared L2 (valid, visible copy).
+    L2Hit,
+    /// Missed the L2 and opened a new directory transaction (MSHR
+    /// allocated).
+    MissNew,
+    /// Missed the L2 and merged into an already-outstanding MSHR.
+    MissMerged,
+    /// A non-binding exclusive prefetch was issued to the directory.
+    PrefetchIssued,
+    /// A non-binding exclusive prefetch was dropped (line already owned or
+    /// a request is already in flight).
+    PrefetchDropped,
+}
+
+/// Snapshot of a directory entry's permission state, as exposed to
+/// tracers. Mirrors the (private) protocol state: uncached, shared with a
+/// node bit-vector, or exclusively owned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePerm {
+    /// No cached copies are registered.
+    Uncached,
+    /// Shared copies exist at the nodes set in `sharers` (bit per node).
+    Shared {
+        /// Bit-vector of sharing nodes.
+        sharers: u32,
+    },
+    /// One node holds the line exclusively.
+    Excl {
+        /// The owning node.
+        owner: NodeId,
+    },
+}
+
+/// Hook trait for observing the memory system. All methods default to
+/// no-ops; see the [module docs](self) for the contract.
+#[allow(unused_variables)]
+pub trait MemTracer: std::fmt::Debug {
+    /// A processor-side data access was issued and resolved as `outcome`.
+    /// Called once per [`crate::MemSystem::access`] call.
+    fn access(
+        &mut self,
+        now: Cycle,
+        cpu: CpuId,
+        role: StreamRole,
+        kind: AccessKind,
+        line: LineAddr,
+        outcome: AccessOutcome,
+    ) {
+    }
+
+    /// A fill (coherent or transparent reply) landed in `node`'s L2,
+    /// completing the line's outstanding waiters.
+    fn fill(&mut self, now: Cycle, node: NodeId, line: LineAddr, excl: bool, transparent: bool) {}
+
+    /// The home directory's permission state for `line` changed while
+    /// serving a message from `requester`.
+    fn dir_transition(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        from: TracePerm,
+        to: TracePerm,
+        requester: NodeId,
+    ) {
+    }
+
+    /// The directory forwarded an intervention to the exclusive `owner` on
+    /// behalf of `requester` (`excl` = ownership transfer vs. downgrade).
+    fn intervention(&mut self, now: Cycle, line: LineAddr, owner: NodeId, requester: NodeId, excl: bool) {}
+
+    /// The directory sent an invalidation for `line` to sharer `target`.
+    fn invalidation(&mut self, now: Cycle, line: LineAddr, target: NodeId) {}
+
+    /// A self-invalidation hint was sent to the exclusive `owner` (§4.2:
+    /// a transparent load recorded a future sharer).
+    fn si_hint(&mut self, now: Cycle, line: LineAddr, owner: NodeId) {}
+
+    /// `node` processed a flagged line at a sync point: invalidated it
+    /// (migratory policy) if `invalidated`, else wrote back and downgraded
+    /// (producer-consumer policy).
+    fn si_action(&mut self, now: Cycle, node: NodeId, line: LineAddr, invalidated: bool) {}
+
+    /// A transparent load was upgraded to a normal load at the directory.
+    fn transparent_upgrade(&mut self, now: Cycle, line: LineAddr, from: NodeId) {}
+
+    /// A transparent load was answered with a (possibly stale) memory copy.
+    fn transparent_reply(&mut self, now: Cycle, line: LineAddr, from: NodeId) {}
+
+    /// A dirty writeback for `line` arrived at the home from `from`.
+    fn writeback(&mut self, now: Cycle, line: LineAddr, from: NodeId) {}
+
+    /// The sync controller handled `op` from `cpu`, releasing `granted`
+    /// blocked processors (0 = the requester queued or nothing released).
+    fn sync_event(&mut self, now: Cycle, cpu: CpuId, op: SyncOp, granted: u32) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The default method bodies are callable no-ops, so a tracer can
+    /// override just one hook.
+    #[derive(Debug, Default)]
+    struct OnlyFills(u64);
+
+    impl MemTracer for OnlyFills {
+        fn fill(&mut self, _: Cycle, _: NodeId, _: LineAddr, _: bool, _: bool) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        let mut t = OnlyFills::default();
+        t.access(
+            Cycle(1),
+            CpuId::new(NodeId(0), 0),
+            StreamRole::R,
+            AccessKind::Read,
+            LineAddr(3),
+            AccessOutcome::L1Hit,
+        );
+        t.dir_transition(
+            Cycle(1),
+            LineAddr(3),
+            TracePerm::Uncached,
+            TracePerm::Excl { owner: NodeId(1) },
+            NodeId(1),
+        );
+        t.fill(Cycle(2), NodeId(0), LineAddr(3), true, false);
+        assert_eq!(t.0, 1);
+    }
+}
