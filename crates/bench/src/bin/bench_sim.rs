@@ -1,36 +1,71 @@
-//! Tracked wall-clock benchmark baseline: times a fixed set of
-//! representative quick-suite runs and writes `BENCH_sim.json` (wall-clock
-//! seconds, host events processed, and events/sec per run, plus totals).
+//! Tracked wall-clock benchmark baseline: times the full quick suite under
+//! every execution mode and writes `BENCH_sim.json` (wall-clock seconds,
+//! host events processed, and events/sec per run, plus totals).
 //!
 //! The JSON is a *host-performance* artifact for catching simulator
 //! slowdowns across commits; simulated results (cycles, miss rates) are
 //! reported by the figure binaries and EXPERIMENTS.md.
 //!
-//! Usage: `bench_sim [--out PATH] [--iters N]`
-//!   --out PATH   output file (default: BENCH_sim.json)
-//!   --iters N    timed iterations per run; minimum wall time is kept
-//!                (default: 3)
+//! Usage: `bench_sim [--out PATH] [--iters N] [--compare BASELINE [--tolerance PCT]]`
+//!   --out PATH        output file (default: BENCH_sim.json; not written in
+//!                     compare mode unless given explicitly)
+//!   --iters N         timed iterations per run; minimum wall time is kept
+//!                     (default: 3)
+//!   --compare PATH    re-measure and compare events/sec against a baseline
+//!                     JSON written by this tool; exits nonzero if any run
+//!                     (or the total) regresses by more than the tolerance
+//!   --tolerance PCT   allowed events/sec regression in percent for
+//!                     `--compare` (default: 15)
 
 use std::time::Instant;
 
 use slipstream_core::{run, ArSyncMode, ExecMode, RunResult, RunSpec, SlipstreamConfig, Workload};
-use slipstream_workloads::{Mg, Sor, WaterNs};
+use slipstream_workloads::quick_suite;
 
 struct Case {
-    name: &'static str,
+    name: String,
     workload: Box<dyn Workload>,
     spec: RunSpec,
     mode: &'static str,
 }
 
 struct Measured {
-    name: &'static str,
+    name: String,
     workload: String,
     mode: &'static str,
     nodes: u16,
     wall_s: f64,
     events: u64,
     exec_cycles: u64,
+}
+
+/// The benchmark matrix: every quick-suite workload under every execution
+/// mode (single, double, slipstream, slipstream+si), 4 nodes each, so a
+/// hot-path regression in any mode-specific machinery (pair bookkeeping,
+/// token protocol, self-invalidation sweeps) is visible in the baseline.
+fn cases() -> Vec<Case> {
+    let si = SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal);
+    let modes: [(&'static str, &dyn Fn() -> RunSpec); 4] = [
+        ("single", &|| RunSpec::new(4, ExecMode::Single)),
+        ("double", &|| RunSpec::new(4, ExecMode::Double)),
+        ("slipstream", &|| RunSpec::new(4, ExecMode::Slipstream)),
+        ("slipstream+si", &|| {
+            RunSpec::new(4, ExecMode::Slipstream).with_slip(si)
+        }),
+    ];
+    let mut out = Vec::new();
+    for (mode, mk_spec) in modes {
+        for workload in quick_suite() {
+            let tag = workload.name().to_ascii_lowercase().replace('-', "_");
+            out.push(Case {
+                name: format!("{tag}_quick_{}_4", mode.replace('+', "_")),
+                workload,
+                spec: mk_spec(),
+                mode,
+            });
+        }
+    }
+    out
 }
 
 /// Run one case `iters` times (after an untimed warm-up) and keep the
@@ -45,7 +80,7 @@ fn measure(case: &Case, iters: u32) -> Measured {
         wall_s = wall_s.min(start.elapsed().as_secs_f64());
     }
     Measured {
-        name: case.name,
+        name: case.name.clone(),
         workload: case.workload.name().to_string(),
         mode: case.mode,
         nodes: case.spec.nodes,
@@ -59,13 +94,99 @@ fn events_per_sec(events: u64, wall_s: f64) -> f64 {
     if wall_s > 0.0 { events as f64 / wall_s } else { 0.0 }
 }
 
+/// Extracts the `"name"`/`"events_per_sec"` pairs (and the total) from a
+/// baseline written by this tool. The schema is our own line-oriented
+/// output, so a string scan is all the parsing needed — no JSON dependency.
+fn parse_baseline(text: &str) -> (Vec<(String, f64)>, Option<f64>) {
+    fn str_field(line: &str, key: &str) -> Option<String> {
+        let pat = format!("\"{key}\": \"");
+        let start = line.find(&pat)? + pat.len();
+        let end = line[start..].find('"')? + start;
+        Some(line[start..end].to_string())
+    }
+    fn num_field(line: &str, key: &str) -> Option<f64> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+    let mut runs = Vec::new();
+    let mut total = None;
+    for line in text.lines() {
+        if line.contains("\"total\"") {
+            total = num_field(line, "events_per_sec");
+        } else if let (Some(name), Some(eps)) =
+            (str_field(line, "name"), num_field(line, "events_per_sec"))
+        {
+            runs.push((name, eps));
+        }
+    }
+    (runs, total)
+}
+
+/// Compares fresh measurements against a baseline. Returns the number of
+/// regressions beyond `tolerance_pct`; new runs absent from the baseline
+/// are reported but never fail the gate (the baseline just needs
+/// refreshing), while baseline runs that disappeared do fail it.
+fn compare(measured: &[Measured], baseline: &str, tolerance_pct: f64) -> usize {
+    let (base_runs, base_total) = parse_baseline(baseline);
+    if base_runs.is_empty() {
+        eprintln!("baseline has no runs; was it written by bench_sim?");
+        return 1;
+    }
+    let mut failures = 0;
+    for (name, base_eps) in &base_runs {
+        let Some(m) = measured.iter().find(|m| &m.name == name) else {
+            eprintln!("  FAIL {name:<32} present in baseline but no longer measured");
+            failures += 1;
+            continue;
+        };
+        let eps = events_per_sec(m.events, m.wall_s);
+        let delta_pct = (eps / base_eps - 1.0) * 100.0;
+        let ok = delta_pct >= -tolerance_pct;
+        eprintln!(
+            "  {} {name:<32} {base_eps:>12.0} -> {eps:>12.0} events/s ({delta_pct:+6.1}%)",
+            if ok { "ok  " } else { "FAIL" },
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    for m in measured {
+        if !base_runs.iter().any(|(name, _)| name == &m.name) {
+            eprintln!("  new  {:<32} (not in baseline)", m.name);
+        }
+    }
+    let total_events: u64 = measured.iter().map(|m| m.events).sum();
+    let total_wall: f64 = measured.iter().map(|m| m.wall_s).sum();
+    if let Some(base_eps) = base_total {
+        let eps = events_per_sec(total_events, total_wall);
+        let delta_pct = (eps / base_eps - 1.0) * 100.0;
+        let ok = delta_pct >= -tolerance_pct;
+        eprintln!(
+            "  {} {:<32} {base_eps:>12.0} -> {eps:>12.0} events/s ({delta_pct:+6.1}%)",
+            if ok { "ok  " } else { "FAIL" },
+            "TOTAL",
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    failures
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_sim.json");
+    let mut out_path: Option<String> = None;
     let mut iters: u32 = 3;
+    let mut compare_path: Option<String> = None;
+    let mut tolerance_pct: f64 = 15.0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
             "--iters" => {
                 iters = args
                     .next()
@@ -73,48 +194,33 @@ fn main() {
                     .parse()
                     .expect("--iters needs an integer")
             }
+            "--compare" => {
+                compare_path = Some(args.next().expect("--compare needs a baseline path"))
+            }
+            "--tolerance" => {
+                tolerance_pct = args
+                    .next()
+                    .expect("--tolerance needs a percentage")
+                    .parse()
+                    .expect("--tolerance needs a number")
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_sim [--out PATH] [--iters N]");
+                eprintln!(
+                    "usage: bench_sim [--out PATH] [--iters N] \
+                     [--compare BASELINE [--tolerance PCT]]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    let si = SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal);
-    let cases = [
-        Case {
-            name: "sor_quick_single_4",
-            workload: Box::new(Sor::quick()),
-            spec: RunSpec::new(4, ExecMode::Single),
-            mode: "single",
-        },
-        Case {
-            name: "sor_quick_slipstream_4",
-            workload: Box::new(Sor::quick()),
-            spec: RunSpec::new(4, ExecMode::Slipstream),
-            mode: "slipstream",
-        },
-        Case {
-            name: "mg_quick_slipstream_si_4",
-            workload: Box::new(Mg::quick()),
-            spec: RunSpec::new(4, ExecMode::Slipstream).with_slip(si),
-            mode: "slipstream+si",
-        },
-        Case {
-            name: "water_ns_quick_double_4",
-            workload: Box::new(WaterNs::quick()),
-            spec: RunSpec::new(4, ExecMode::Double),
-            mode: "double",
-        },
-    ];
-
-    let measured: Vec<Measured> = cases
+    let measured: Vec<Measured> = cases()
         .iter()
         .map(|c| {
             let m = measure(c, iters);
             eprintln!(
-                "  [{:<26} {:>9.3} ms  {:>9} events  {:>12.0} events/s]",
+                "  [{:<32} {:>9.3} ms  {:>9} events  {:>12.0} events/s]",
                 m.name,
                 m.wall_s * 1e3,
                 m.events,
@@ -129,8 +235,24 @@ fn main() {
     let host_cpus =
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
+    if let Some(baseline_path) = &compare_path {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("reading {baseline_path}: {e}"));
+        eprintln!("comparing against {baseline_path} (tolerance {tolerance_pct}%):");
+        let failures = compare(&measured, &baseline, tolerance_pct);
+        if failures > 0 {
+            println!("{failures} run(s) regressed by more than {tolerance_pct}%");
+            std::process::exit(1);
+        }
+        println!("no events/sec regression beyond {tolerance_pct}% in any run");
+        if out_path.is_none() {
+            return; // compare mode only rewrites the baseline on request
+        }
+    }
+
     // Hand-written JSON: the schema is flat and fully under our control, so
     // no serialization dependency is warranted.
+    let out_path = out_path.unwrap_or_else(|| String::from("BENCH_sim.json"));
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"slipstream-bench-sim/1\",\n");

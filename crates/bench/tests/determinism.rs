@@ -56,3 +56,71 @@ fn executor_results_are_independent_of_jobs() {
         assert_eq!(a.recoveries, b.recoveries, "cell {i}");
     }
 }
+
+/// The batched fast path is a pure scheduling shortcut: for every quick
+/// workload, in every execution mode and every A-R synchronization mode
+/// (with and without self-invalidation), the full [`RunResult`] — cycles,
+/// memory statistics, per-stream time breakdowns, recoveries, and even the
+/// `host_events` observability counter — is bit-identical to the
+/// queue-round-trip path.
+#[test]
+fn fastpath_matches_queue_path_bit_for_bit() {
+    let suite = quick_suite();
+    let mut specs = vec![
+        RunSpec::new(4, ExecMode::Single),
+        RunSpec::new(4, ExecMode::Double),
+    ];
+    for ar in ArSyncMode::ALL {
+        specs.push(RunSpec::new(4, ExecMode::Slipstream).with_slip(SlipstreamConfig::prefetch_only(ar)));
+        specs.push(
+            RunSpec::new(4, ExecMode::Slipstream)
+                .with_slip(SlipstreamConfig::with_self_invalidation(ar)),
+        );
+    }
+    for w in &suite {
+        for spec in &specs {
+            let fast = run(w.as_ref(), &spec.clone().with_fastpath(true));
+            let slow = run(w.as_ref(), &spec.clone().with_fastpath(false));
+            assert_eq!(
+                fast,
+                slow,
+                "{} {:?} slip={:?} diverged between fast path and queue path",
+                w.name(),
+                spec.mode,
+                spec.slip
+            );
+        }
+    }
+}
+
+/// Tracing observes the fast path without perturbing it: with full
+/// collection enabled, the event records, access counters, hot-line
+/// rankings, and interval samples are identical whether streams resume
+/// inline or through the queue. Only the queue's own lifetime counters
+/// (`queue_total_pushed`, `queue_high_water`) may differ, since the fast
+/// path exists precisely to elide queue traffic.
+#[test]
+fn fastpath_traces_identical_event_streams() {
+    use slipstream_core::{run_traced, TraceConfig};
+    let suite = quick_suite();
+    for w in suite.iter().take(3) {
+        for mode in [ExecMode::Single, ExecMode::Slipstream] {
+            let base = RunSpec::new(2, mode).with_trace(TraceConfig::full(10_000));
+            let (fast_r, fast_t) = run_traced(w.as_ref(), &base.clone().with_fastpath(true));
+            let (slow_r, slow_t) = run_traced(w.as_ref(), &base.clone().with_fastpath(false));
+            assert_eq!(fast_r, slow_r, "{} {mode:?} RunResult", w.name());
+            let (fast_t, slow_t) = (fast_t.expect("traced"), slow_t.expect("traced"));
+            assert_eq!(fast_t.records, slow_t.records, "{} {mode:?} records", w.name());
+            assert_eq!(fast_t.counts, slow_t.counts, "{} {mode:?} counts", w.name());
+            assert_eq!(fast_t.hot, slow_t.hot, "{} {mode:?} hot lines", w.name());
+            assert_eq!(fast_t.samples, slow_t.samples, "{} {mode:?} samples", w.name());
+            assert_eq!(fast_t.dropped, slow_t.dropped, "{} {mode:?} dropped", w.name());
+            assert_eq!(fast_t.end_cycle, slow_t.end_cycle, "{} {mode:?} end", w.name());
+            assert!(
+                fast_t.queue_total_pushed <= slow_t.queue_total_pushed,
+                "{} {mode:?}: fast path must not add queue traffic",
+                w.name()
+            );
+        }
+    }
+}

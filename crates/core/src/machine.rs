@@ -66,6 +66,18 @@ pub struct Machine {
     /// enabled). `None` on the default path: no buffer exists and the
     /// main loop pays one `Option` check per event.
     trace: Option<TraceState>,
+    /// Batched fast-path execution: when a stream yields and its `Resume`
+    /// would be the very next event popped anyway, continue executing it
+    /// inline instead of round-tripping through the event queue. Results
+    /// are bit-identical either way (asserted by the differential tests in
+    /// `crates/bench/tests/determinism.rs`); the knob exists for those
+    /// tests and for debugging.
+    fastpath: bool,
+    /// Host-side events processed (popped events + inline resumes). An
+    /// inline resume counts exactly like the queue round-trip it replaces,
+    /// so `RunResult::host_events` is identical with the fast path on or
+    /// off.
+    host_events: u64,
 }
 
 impl Machine {
@@ -84,6 +96,7 @@ impl Machine {
         input_cycles: u64,
         tasks: usize,
         trace_cfg: TraceConfig,
+        fastpath: bool,
     ) -> Machine {
         let trace = if trace_cfg.enabled() {
             let (state, recorder) = TraceState::new(trace_cfg);
@@ -121,6 +134,8 @@ impl Machine {
             nodes,
             tasks,
             trace,
+            fastpath,
+            host_events: 0,
         }
     }
 
@@ -154,18 +169,17 @@ impl Machine {
             }
         }
         let mut out: Vec<Completion> = Vec::new();
-        let mut host_events: u64 = 0;
         while let Some((t, ev)) = self.q.pop() {
-            host_events += 1;
+            self.host_events += 1;
             if self.trace.as_ref().is_some_and(|ts| t >= ts.next_sample) {
-                self.take_samples(t, host_events);
+                self.take_samples(t, self.host_events);
             }
             match ev {
                 Ev::Resume { stream, epoch } => {
                     if self.epochs[stream] == epoch
                         && self.streams[stream].state == StreamState::Ready
                     {
-                        self.run_stream(stream, t);
+                        self.run_stream(stream, t, true);
                     }
                 }
                 Ev::Mem(me) => {
@@ -174,8 +188,12 @@ impl Machine {
                     // `out` is local; completions are Copy, so the buffer
                     // is reused across events without reallocating.
                     let batch = std::mem::take(&mut out);
-                    for &c in &batch {
-                        self.on_completion(t, c);
+                    for (k, &c) in batch.iter().enumerate() {
+                        // Inline continuation is only safe for the last
+                        // completion of the batch: an earlier stream must
+                        // not run ahead of state changes the remaining
+                        // completions are about to apply.
+                        self.on_completion(t, c, k + 1 == batch.len());
                     }
                     out = batch;
                 }
@@ -207,6 +225,7 @@ impl Machine {
             .unwrap_or(0);
         // Package collected trace state. Must happen before `take_stats`
         // below: the closing interval sample snapshots the live counters.
+        let host_events = self.host_events;
         let trace = self.trace.take().map(|mut ts| {
             if ts.cfg.interval > 0 {
                 let sample = self.sample_at(exec_cycles, host_events);
@@ -297,7 +316,31 @@ impl Machine {
     // Stream execution
     // ------------------------------------------------------------------
 
-    fn run_stream(&mut self, i: usize, now: Cycle) {
+    /// Fast-path gate at a yield point: a `Resume` pushed at `local` would
+    /// be the very next event popped iff no queued event fires at or before
+    /// `local` (an equal-time event holds a smaller sequence number and
+    /// would win the tie). In that case nothing can observe the machine
+    /// between the push and the pop, so the round-trip is elided and the
+    /// stream keeps executing inline. Mirrors the main loop's bookkeeping
+    /// exactly: the resume counts as a host event and interval samples are
+    /// taken at the same boundaries.
+    #[inline]
+    fn inline_resume(&mut self, local: Cycle) -> bool {
+        if !self.fastpath || self.q.peek_time().is_some_and(|t| t <= local) {
+            return false;
+        }
+        self.host_events += 1;
+        if self.trace.as_ref().is_some_and(|ts| local >= ts.next_sample) {
+            self.take_samples(local, self.host_events);
+        }
+        true
+    }
+
+    /// `allow_inline` is false when the caller still has work to do at the
+    /// current timestamp (mid-batch completions): the stream must then
+    /// yield through the queue so that work is applied first.
+    fn run_stream(&mut self, i: usize, now: Cycle, allow_inline: bool) {
+        let mut now = now;
         let mut local = now;
         let mut ops = 0u32;
         loop {
@@ -322,11 +365,18 @@ impl Machine {
                 ref o => o.is_sync(),
             };
             if exact && local > now {
-                self.streams[i].pending_op = Some(op);
-                self.streams[i].frontier = local;
-                let epoch = self.epochs[i];
-                self.q.push(local, Ev::Resume { stream: i, epoch });
-                return;
+                if allow_inline && self.inline_resume(local) {
+                    // Continue as the freshly resumed quantum would: global
+                    // time advances to `local`, the op executes exactly.
+                    now = local;
+                    ops = 0;
+                } else {
+                    self.streams[i].pending_op = Some(op);
+                    self.streams[i].frontier = local;
+                    let epoch = self.epochs[i];
+                    self.q.push(local, Ev::Resume { stream: i, epoch });
+                    return;
+                }
             }
             ops += 1;
             match self.exec_op(i, op, local) {
@@ -337,10 +387,15 @@ impl Machine {
                 Step::Blocked => return,
             }
             if ops >= self.cfg.quantum_ops || (local - now).raw() >= self.quantum_cycles {
-                self.streams[i].frontier = local;
-                let epoch = self.epochs[i];
-                self.q.push(local, Ev::Resume { stream: i, epoch });
-                return;
+                if allow_inline && self.inline_resume(local) {
+                    now = local;
+                    ops = 0;
+                } else {
+                    self.streams[i].frontier = local;
+                    let epoch = self.epochs[i];
+                    self.q.push(local, Ev::Resume { stream: i, epoch });
+                    return;
+                }
             }
         }
     }
@@ -698,7 +753,7 @@ impl Machine {
         }
     }
 
-    fn on_completion(&mut self, t: Cycle, c: Completion) {
+    fn on_completion(&mut self, t: Cycle, c: Completion, last_in_batch: bool) {
         let idx = match self.cpu_map[c.cpu.flat(2)] {
             Some(i) => i,
             None => return,
@@ -720,7 +775,7 @@ impl Machine {
                     _ => {}
                 }
                 self.streams[idx].state = StreamState::Ready;
-                self.run_stream(idx, t);
+                self.run_stream(idx, t, last_in_batch);
             }
             // Stale completion (e.g. for a killed A-stream); drop it.
             _ => {}

@@ -30,6 +30,12 @@ pub struct RunSpec {
     /// Observability configuration. Default: everything off, in which case
     /// the run is untraced and pays no collection cost.
     pub trace: TraceConfig,
+    /// Batched fast-path execution (default on). When a stream's resume
+    /// would be the very next event popped, the round-trip through the
+    /// event queue is elided and the stream keeps executing inline. The
+    /// result is bit-identical either way; turning this off exists for the
+    /// differential tests and debugging.
+    pub fastpath: bool,
 }
 
 impl RunSpec {
@@ -44,6 +50,7 @@ impl RunSpec {
             quantum_cycles: 200,
             input_cycles: 500,
             trace: TraceConfig::default(),
+            fastpath: true,
         }
     }
 
@@ -62,6 +69,12 @@ impl RunSpec {
     /// Enables observability collection for the run (see [`TraceConfig`]).
     pub fn with_trace(mut self, trace: TraceConfig) -> RunSpec {
         self.trace = trace;
+        self
+    }
+
+    /// Enables or disables the batched fast path (on by default).
+    pub fn with_fastpath(mut self, fastpath: bool) -> RunSpec {
+        self.fastpath = fastpath;
         self
     }
 }
@@ -185,6 +198,7 @@ pub fn run_traced(workload: &dyn Workload, spec: &RunSpec) -> (RunResult, Option
         spec.input_cycles,
         ntasks,
         spec.trace,
+        spec.fastpath,
     )
     .run_traced()
 }

@@ -39,6 +39,7 @@ mod ids;
 mod queue;
 mod rng;
 mod server;
+mod smallvec;
 mod time;
 
 pub use hash::{fx_map_with_capacity, FxBuildHasher, FxHasher, FxHashMap};
@@ -46,4 +47,5 @@ pub use ids::{Addr, CpuId, LineAddr, NodeId, TaskId};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use server::Server;
+pub use smallvec::InlineVec;
 pub use time::Cycle;

@@ -26,9 +26,17 @@ struct L1Line {
 /// caller; this type only tracks contents. Evicted dirty lines are folded
 /// into the L2 (same chip) at zero cost, which the caller performs via the
 /// returned victim.
+///
+/// Storage is a single flat array indexed by `set * ways`: set `s` occupies
+/// `slots[s * ways ..][..lens[s]]` in LRU order (most recent last). Hits
+/// promote by rotating the occupied suffix instead of `Vec::remove` +
+/// `push`, so the hot lookup path touches one contiguous cache line and
+/// never allocates.
 #[derive(Debug)]
 pub struct L1Cache {
-    sets: Vec<Vec<L1Line>>, // per set, LRU order: most recent last
+    slots: Vec<L1Line>,
+    /// Occupied ways per set (`<= ways`); slots beyond are placeholders.
+    lens: Vec<u8>,
     ways: usize,
     set_mask: u64,
 }
@@ -46,9 +54,13 @@ impl L1Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(geom: CacheGeometry) -> L1Cache {
         let sets = geom.sets() as usize;
+        let ways = geom.ways as usize;
         L1Cache {
-            sets: (0..sets).map(|_| Vec::with_capacity(geom.ways as usize)).collect(),
-            ways: geom.ways as usize,
+            // Placeholders beyond each set's occupied prefix are never read:
+            // every scan is bounded by `lens[set]`.
+            slots: vec![L1Line { line: LineAddr(0), state: L1State::Shared }; sets * ways],
+            lens: vec![0; sets],
+            ways,
             set_mask: sets as u64 - 1,
         }
     }
@@ -58,14 +70,22 @@ impl L1Cache {
         (line.0 & self.set_mask) as usize
     }
 
+    /// The occupied slice of one set, in LRU order (most recent last).
+    #[inline]
+    fn set(&mut self, set_idx: usize) -> &mut [L1Line] {
+        let base = set_idx * self.ways;
+        &mut self.slots[base..base + self.lens[set_idx] as usize]
+    }
+
     /// Looks up `line`, updating LRU on hit.
     pub fn lookup(&mut self, line: LineAddr) -> Option<L1State> {
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
+        let set = self.set(self.set_of(line));
         if let Some(pos) = set.iter().position(|l| l.line == line) {
-            let entry = set.remove(pos);
-            set.push(entry);
-            Some(entry.state)
+            let state = set[pos].state;
+            // Promote to MRU: rotating the suffix is Vec::remove + push
+            // without the element-by-element shuffle.
+            set[pos..].rotate_left(1);
+            Some(state)
         } else {
             None
         }
@@ -74,7 +94,9 @@ impl L1Cache {
     /// Peeks at a line's state without touching LRU.
     #[cfg(test)]
     pub fn peek(&self, line: LineAddr) -> Option<L1State> {
-        let set = &self.sets[self.set_of(line)];
+        let set_idx = self.set_of(line);
+        let base = set_idx * self.ways;
+        let set = &self.slots[base..base + self.lens[set_idx] as usize];
         set.iter().find(|l| l.line == line).map(|l| l.state)
     }
 
@@ -83,31 +105,38 @@ impl L1Cache {
     pub fn insert(&mut self, line: LineAddr, state: L1State) -> Option<L1Victim> {
         let set_idx = self.set_of(line);
         let ways = self.ways;
-        let set = &mut self.sets[set_idx];
+        let set = self.set(set_idx);
         if let Some(pos) = set.iter().position(|l| l.line == line) {
-            let mut entry = set.remove(pos);
-            entry.state = state;
-            set.push(entry);
+            set[pos].state = state;
+            set[pos..].rotate_left(1);
             return None;
         }
-        let victim = if set.len() == ways {
-            let v = set.remove(0);
+        let len = set.len();
+        if len == ways {
+            // Evict the LRU (front) line by rotating the whole set and
+            // overwriting the now-last slot with the newcomer.
+            let v = set[0];
+            set.rotate_left(1);
+            set[len - 1] = L1Line { line, state };
             Some(L1Victim { line: v.line, dirty: v.state == L1State::Modified })
         } else {
+            self.slots[set_idx * self.ways + len] = L1Line { line, state };
+            self.lens[set_idx] += 1;
             None
-        };
-        set.push(L1Line { line, state });
-        victim
+        }
     }
 
     /// Removes `line` if present (back-invalidation from the L2), returning
     /// whether it was dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
         let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
+        let set = self.set(set_idx);
         if let Some(pos) = set.iter().position(|l| l.line == line) {
-            let entry = set.remove(pos);
-            Some(entry.state == L1State::Modified)
+            let dirty = set[pos].state == L1State::Modified;
+            // Close the gap while preserving the order of the survivors.
+            set[pos..].rotate_left(1);
+            self.lens[set_idx] -= 1;
+            Some(dirty)
         } else {
             None
         }
@@ -116,8 +145,7 @@ impl L1Cache {
     /// Downgrades a Modified copy to Shared (L2 lost exclusivity), returning
     /// whether the line was dirty.
     pub fn downgrade(&mut self, line: LineAddr) -> Option<bool> {
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
+        let set = self.set(self.set_of(line));
         if let Some(entry) = set.iter_mut().find(|l| l.line == line) {
             let was_dirty = entry.state == L1State::Modified;
             entry.state = L1State::Shared;
@@ -130,7 +158,7 @@ impl L1Cache {
     /// Number of resident lines (for tests).
     #[cfg(test)]
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// Whether the cache holds no lines.

@@ -1,7 +1,7 @@
 use std::collections::VecDeque;
 
 use slipstream_kernel::config::CacheGeometry;
-use slipstream_kernel::{CpuId, FxHashMap, LineAddr};
+use slipstream_kernel::{CpuId, FxHashMap, InlineVec, LineAddr};
 
 use crate::classify::OpenReq;
 use crate::msg::Token;
@@ -79,13 +79,16 @@ pub(crate) struct Mshr {
     pub excl_pending: bool,
     /// A transparent read request is in flight.
     pub trans_pending: bool,
-    /// Waiters satisfied by any coherent fill.
-    pub waiters: Vec<Waiter>,
+    /// Waiters satisfied by any coherent fill. Almost always one entry
+    /// (occasionally two when both streams of a pair pile onto the same
+    /// miss), so the lists use inline storage and allocate nothing on the
+    /// common path.
+    pub waiters: InlineVec<Waiter, 2>,
     /// A-stream waiters, satisfied by a transparent or coherent fill.
-    pub a_waiters: Vec<Waiter>,
+    pub a_waiters: InlineVec<Waiter, 2>,
     /// Store waiters: need exclusive ownership. On a shared fill these
     /// trigger an upgrade transaction.
-    pub store_waiters: Vec<Waiter>,
+    pub store_waiters: InlineVec<Waiter, 2>,
     /// Any queued store was inside a critical section.
     pub store_in_cs: bool,
     /// Classification for the in-flight read transaction.
@@ -103,9 +106,9 @@ impl Mshr {
             norm_pending: false,
             excl_pending: false,
             trans_pending: false,
-            waiters: Vec::new(),
-            a_waiters: Vec::new(),
-            store_waiters: Vec::new(),
+            waiters: InlineVec::new(),
+            a_waiters: InlineVec::new(),
+            store_waiters: InlineVec::new(),
             store_in_cs: false,
             open_read: None,
             open_excl: None,
@@ -129,9 +132,26 @@ pub(crate) struct L2Victim {
 ///
 /// Set-associative, true LRU (per-set ordering, most recent last). Lines
 /// with outstanding MSHRs are pinned and never chosen as victims.
+///
+/// Storage is a single flat array indexed by `set * ways`: set `s` occupies
+/// `slots[s * ways ..][..lens[s]]` in LRU order, and promotion/eviction
+/// rotate the occupied suffix instead of `Vec::remove` + `push`. One wrinkle
+/// keeps the old semantics exact: when a fill finds every way pinned by an
+/// MSHR, the set temporarily holds more than `ways` lines. A flat array
+/// cannot over-allocate, so such a set spills — whole — into `overflow`
+/// (the old `Vec` representation, same ordering rules) and migrates back
+/// once invalidations shrink it to `ways` lines or fewer. `spilled` counts
+/// spilled sets so the hot path pays one predictable branch.
 #[derive(Debug)]
 pub(crate) struct L2Cache {
-    sets: Vec<Vec<L2Line>>,
+    slots: Vec<L2Line>,
+    /// Occupied ways per set (`<= ways`); slots beyond are placeholders.
+    /// For a spilled set this is `SPILLED` and `overflow` holds the lines.
+    lens: Vec<u8>,
+    /// Whole sets that currently exceed `ways` lines (all ways pinned).
+    overflow: FxHashMap<usize, Vec<L2Line>>,
+    /// Number of spilled sets (fast guard for the common `== 0` case).
+    spilled: usize,
     ways: usize,
     set_mask: u64,
     pub mshrs: FxHashMap<LineAddr, Mshr>,
@@ -144,12 +164,22 @@ pub(crate) struct L2Cache {
     pub set_overflows: u64,
 }
 
+/// `lens` marker for a set living in `overflow`.
+const SPILLED: u8 = u8::MAX;
+
 impl L2Cache {
     pub(crate) fn new(geom: CacheGeometry) -> L2Cache {
         let sets = geom.sets() as usize;
+        let ways = geom.ways as usize;
         L2Cache {
-            sets: (0..sets).map(|_| Vec::with_capacity(geom.ways as usize)).collect(),
-            ways: geom.ways as usize,
+            // Placeholder lines are never read: scans stop at `lens[set]`.
+            slots: (0..sets * ways)
+                .map(|_| L2Line::new(LineAddr(0), L2State::Shared, false))
+                .collect(),
+            lens: vec![0; sets],
+            overflow: FxHashMap::default(),
+            spilled: 0,
+            ways,
             set_mask: sets as u64 - 1,
             mshrs: FxHashMap::default(),
             si_queue: VecDeque::new(),
@@ -163,13 +193,62 @@ impl L2Cache {
         (line.0 & self.set_mask) as usize
     }
 
+    #[inline]
+    fn is_spilled(&self, set_idx: usize) -> bool {
+        self.spilled != 0 && self.lens[set_idx] == SPILLED
+    }
+
+    /// The occupied flat slice of one (non-spilled) set, LRU order.
+    #[inline]
+    fn set(&mut self, set_idx: usize) -> &mut [L2Line] {
+        debug_assert_ne!(self.lens[set_idx], SPILLED);
+        let base = set_idx * self.ways;
+        &mut self.slots[base..base + self.lens[set_idx] as usize]
+    }
+
+    /// Moves a flat set into the overflow representation (all ways pinned,
+    /// a fill must over-allocate). Order is preserved verbatim.
+    fn spill_set(&mut self, set_idx: usize) -> &mut Vec<L2Line> {
+        debug_assert_ne!(self.lens[set_idx], SPILLED);
+        let base = set_idx * self.ways;
+        let len = self.lens[set_idx] as usize;
+        let mut v = Vec::with_capacity(len + 1);
+        for i in 0..len {
+            let placeholder = L2Line::new(LineAddr(0), L2State::Shared, false);
+            v.push(std::mem::replace(&mut self.slots[base + i], placeholder));
+        }
+        self.lens[set_idx] = SPILLED;
+        self.spilled += 1;
+        self.overflow.entry(set_idx).or_insert(v)
+    }
+
+    /// Migrates a spilled set back to flat storage once it fits again.
+    fn unspill_set(&mut self, set_idx: usize, v: Vec<L2Line>) {
+        debug_assert!(v.len() <= self.ways);
+        let base = set_idx * self.ways;
+        let len = v.len();
+        for (i, entry) in v.into_iter().enumerate() {
+            self.slots[base + i] = entry;
+        }
+        self.lens[set_idx] = len as u8;
+        self.spilled -= 1;
+    }
+
     /// Looks up a line and promotes it to most-recently-used.
     pub(crate) fn touch(&mut self, line: LineAddr) -> Option<&mut L2Line> {
         let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
+        if self.is_spilled(set_idx) {
+            let set = self.overflow.get_mut(&set_idx).expect("spilled set present");
+            if let Some(pos) = set.iter().position(|l| l.line == line) {
+                let entry = set.remove(pos);
+                set.push(entry);
+                return set.last_mut();
+            }
+            return None;
+        }
+        let set = self.set(set_idx);
         if let Some(pos) = set.iter().position(|l| l.line == line) {
-            let entry = set.remove(pos);
-            set.push(entry);
+            set[pos..].rotate_left(1);
             set.last_mut()
         } else {
             None
@@ -179,12 +258,22 @@ impl L2Cache {
     /// Looks up a line without touching LRU.
     pub(crate) fn get_mut(&mut self, line: LineAddr) -> Option<&mut L2Line> {
         let set_idx = self.set_of(line);
-        self.sets[set_idx].iter_mut().find(|l| l.line == line)
+        if self.is_spilled(set_idx) {
+            let set = self.overflow.get_mut(&set_idx).expect("spilled set present");
+            return set.iter_mut().find(|l| l.line == line);
+        }
+        self.set(set_idx).iter_mut().find(|l| l.line == line)
     }
 
     /// Looks up a line immutably.
     pub(crate) fn get(&self, line: LineAddr) -> Option<&L2Line> {
-        let set = &self.sets[self.set_of(line)];
+        let set_idx = self.set_of(line);
+        if self.is_spilled(set_idx) {
+            let set = self.overflow.get(&set_idx).expect("spilled set present");
+            return set.iter().find(|l| l.line == line);
+        }
+        let base = set_idx * self.ways;
+        let set = &self.slots[base..base + self.lens[set_idx] as usize];
         set.iter().find(|l| l.line == line)
     }
 
@@ -194,33 +283,97 @@ impl L2Cache {
     pub(crate) fn insert(&mut self, entry: L2Line) -> (Option<L2Victim>, &mut L2Line) {
         let set_idx = self.set_of(entry.line);
         let line = entry.line;
-        if let Some(pos) = self.sets[set_idx].iter().position(|l| l.line == line) {
+        if self.is_spilled(set_idx) {
+            return self.insert_spilled(set_idx, entry);
+        }
+        let ways = self.ways;
+        let base = set_idx * ways;
+        let len = self.lens[set_idx] as usize;
+        let set = &mut self.slots[base..base + len];
+        if let Some(pos) = set.iter().position(|l| l.line == line) {
             // Replace in place (e.g. a coherent fill over a transparent line).
-            let _replaced = self.sets[set_idx].remove(pos);
-            self.sets[set_idx].push(entry);
-            let r = self.sets[set_idx].last_mut().expect("just pushed");
+            set[pos..].rotate_left(1);
+            set[len - 1] = entry;
+            return (None, &mut self.slots[base + len - 1]);
+        }
+        if len >= ways {
+            // Evict the least-recently-used line not pinned by an MSHR.
+            let pin_pos = set.iter().position(|l| !self.mshrs.contains_key(&l.line));
+            if let Some(pos) = pin_pos {
+                let set = &mut self.slots[base..base + len];
+                set[pos..].rotate_left(1);
+                let victim = std::mem::replace(&mut set[len - 1], entry);
+                return (
+                    Some(L2Victim { entry: victim }),
+                    &mut self.slots[base + len - 1],
+                );
+            }
+            // Every way is pinned: preserve the old over-allocation
+            // semantics by spilling the whole set.
+            self.set_overflows += 1;
+            let set = self.spill_set(set_idx);
+            set.push(entry);
+            let r = set.last_mut().expect("just pushed");
+            return (None, r);
+        }
+        self.slots[base + len] = entry;
+        self.lens[set_idx] += 1;
+        (None, &mut self.slots[base + len])
+    }
+
+    /// `insert` for a set living in the overflow representation.
+    fn insert_spilled(
+        &mut self,
+        set_idx: usize,
+        entry: L2Line,
+    ) -> (Option<L2Victim>, &mut L2Line) {
+        let line = entry.line;
+        let mshrs = &self.mshrs;
+        let set = self.overflow.get_mut(&set_idx).expect("spilled set present");
+        if let Some(pos) = set.iter().position(|l| l.line == line) {
+            let _replaced = set.remove(pos);
+            set.push(entry);
+            let r = set.last_mut().expect("just pushed");
             return (None, r);
         }
         let mut victim = None;
-        if self.sets[set_idx].len() >= self.ways {
-            // Evict the least-recently-used line not pinned by an MSHR.
-            let pin = |l: &L2Line| self.mshrs.contains_key(&l.line);
-            if let Some(pos) = self.sets[set_idx].iter().position(|l| !pin(l)) {
-                victim = Some(L2Victim { entry: self.sets[set_idx].remove(pos) });
+        if set.len() >= self.ways {
+            if let Some(pos) = set.iter().position(|l| !mshrs.contains_key(&l.line)) {
+                victim = Some(L2Victim { entry: set.remove(pos) });
             } else {
                 self.set_overflows += 1;
             }
         }
-        self.sets[set_idx].push(entry);
-        let r = self.sets[set_idx].last_mut().expect("just pushed");
+        set.push(entry);
+        // An insert after an eviction cannot shrink the set below `ways`,
+        // so the set stays spilled; only `remove` migrates it back.
+        let r = set.last_mut().expect("just pushed");
         (victim, r)
     }
 
     /// Removes a line (invalidation), returning it.
     pub(crate) fn remove(&mut self, line: LineAddr) -> Option<L2Line> {
         let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        set.iter().position(|l| l.line == line).map(|pos| set.remove(pos))
+        if self.is_spilled(set_idx) {
+            let set = self.overflow.get_mut(&set_idx).expect("spilled set present");
+            let removed = set.iter().position(|l| l.line == line).map(|pos| set.remove(pos));
+            if removed.is_some() && set.len() <= self.ways {
+                let v = self.overflow.remove(&set_idx).expect("spilled set present");
+                self.unspill_set(set_idx, v);
+            }
+            return removed;
+        }
+        let set = self.set(set_idx);
+        if let Some(pos) = set.iter().position(|l| l.line == line) {
+            let len = set.len();
+            set[pos..].rotate_left(1);
+            let placeholder = L2Line::new(LineAddr(0), L2State::Shared, false);
+            let removed = std::mem::replace(&mut set[len - 1], placeholder);
+            self.lens[set_idx] -= 1;
+            Some(removed)
+        } else {
+            None
+        }
     }
 
     /// Flags a resident exclusive line for self-invalidation and queues it.
@@ -236,12 +389,30 @@ impl L2Cache {
     /// Number of resident lines.
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        let flat: usize =
+            self.lens.iter().filter(|&&l| l != SPILLED).map(|&l| l as usize).sum();
+        flat + self.overflow.values().map(|v| v.len()).sum::<usize>()
     }
 
     /// Iterates over all resident lines (for finalization).
     pub(crate) fn drain_all(&mut self) -> Vec<L2Line> {
-        self.sets.iter_mut().flat_map(|s| s.drain(..)).collect()
+        let mut out = Vec::new();
+        for set_idx in 0..self.lens.len() {
+            if self.is_spilled(set_idx) {
+                let mut v = self.overflow.remove(&set_idx).expect("spilled set present");
+                self.spilled -= 1;
+                out.append(&mut v);
+                self.lens[set_idx] = 0;
+                continue;
+            }
+            let base = set_idx * self.ways;
+            for i in 0..self.lens[set_idx] as usize {
+                let placeholder = L2Line::new(LineAddr(0), L2State::Shared, false);
+                out.push(std::mem::replace(&mut self.slots[base + i], placeholder));
+            }
+            self.lens[set_idx] = 0;
+        }
+        out
     }
 }
 
@@ -316,6 +487,47 @@ mod tests {
         // Flagging a non-resident line is a no-op.
         c.flag_si(LineAddr(9));
         assert_eq!(c.si_queue.len(), 1);
+    }
+
+    #[test]
+    fn overflowed_set_migrates_back_when_it_fits() {
+        let mut c = tiny();
+        c.insert(L2Line::new(LineAddr(0), L2State::Shared, true));
+        c.insert(L2Line::new(LineAddr(2), L2State::Shared, true));
+        c.mshrs.insert(LineAddr(0), Mshr::new());
+        c.mshrs.insert(LineAddr(2), Mshr::new());
+        // All ways pinned: the set over-allocates (spills).
+        c.insert(L2Line::new(LineAddr(4), L2State::Shared, true));
+        assert_eq!(c.len(), 3);
+        // The over-full set still behaves like one LRU list.
+        assert!(c.touch(LineAddr(0)).is_some());
+        assert!(c.get(LineAddr(4)).is_some());
+        assert!(c.get_mut(LineAddr(2)).is_some());
+        // Invalidate one line: the set fits again and migrates back.
+        assert!(c.remove(LineAddr(4)).is_some());
+        assert_eq!(c.len(), 2);
+        assert!(c.get(LineAddr(0)).is_some());
+        assert!(c.get(LineAddr(2)).is_some());
+        // LRU order survived the round trip: line 2 is now LRU (0 was
+        // touched above), so an unpinned insert evicts 2 first.
+        c.mshrs.clear();
+        let (v, _) = c.insert(L2Line::new(LineAddr(6), L2State::Shared, true));
+        assert_eq!(v.expect("evicts").entry.line, LineAddr(2));
+    }
+
+    #[test]
+    fn drain_all_includes_overflowed_sets() {
+        let mut c = tiny();
+        c.insert(L2Line::new(LineAddr(0), L2State::Shared, true));
+        c.insert(L2Line::new(LineAddr(2), L2State::Shared, true));
+        c.mshrs.insert(LineAddr(0), Mshr::new());
+        c.mshrs.insert(LineAddr(2), Mshr::new());
+        c.insert(L2Line::new(LineAddr(4), L2State::Shared, true));
+        c.insert(L2Line::new(LineAddr(1), L2State::Shared, true)); // set 1
+        let mut lines: Vec<u64> = c.drain_all().into_iter().map(|l| l.line.0).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0, 1, 2, 4]);
+        assert_eq!(c.len(), 0);
     }
 
     #[test]

@@ -1328,8 +1328,9 @@ impl MemSystem {
         // requested first whenever both merged (it runs ahead), and at
         // equal timestamps it must get to consume its A-R token before the
         // R-stream's deviation check runs.
-        let read_waiters: Vec<Waiter> =
-            mshr.a_waiters.drain(..).chain(mshr.waiters.drain(..)).collect();
+        let read_waiters = std::mem::take(&mut mshr.a_waiters)
+            .into_iter()
+            .chain(std::mem::take(&mut mshr.waiters));
         for w in read_waiters {
             self.fill_l1(w.cpu, line, L1State::Shared);
             if let Some(entry) = self.nodes[n].l2.get_mut(line) {
