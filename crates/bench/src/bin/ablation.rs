@@ -71,7 +71,7 @@ fn main() {
             );
         }
     }
-    let mut r = Runner::new();
+    let mut r = Runner::for_cli(&cli);
     r.prewarm(&plan, cli.jobs());
 
     println!("# Ablation 0: migratory-sharing directory optimization (extension)");

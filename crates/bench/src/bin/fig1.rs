@@ -16,7 +16,7 @@ fn main() {
             plan.add(w.as_ref(), RunSpec::new(n, ExecMode::Double));
         }
     }
-    let mut r = Runner::new();
+    let mut r = Runner::for_cli(&cli);
     r.prewarm(&plan, cli.jobs());
 
     println!("# Figure 1: double-mode speedup over single mode");

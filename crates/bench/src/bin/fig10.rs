@@ -34,7 +34,7 @@ fn main() {
             }
         }
     }
-    let mut r = Runner::new();
+    let mut r = Runner::for_cli(&cli);
     r.prewarm(&plan, cli.jobs());
 
     println!("# Figure 10: slipstream speedup over best(single, double), G1 sync");

@@ -18,7 +18,7 @@ fn main() {
             plan.add(w.as_ref(), RunSpec::new(n, ExecMode::Single));
         }
     }
-    let mut r = Runner::new();
+    let mut r = Runner::for_cli(&cli);
     r.prewarm(&plan, cli.jobs());
 
     println!("# Figure 4: single-mode speedup over sequential execution");

@@ -23,7 +23,7 @@ fn main() {
             }
         }
     }
-    let mut r = Runner::new();
+    let mut r = Runner::for_cli(&cli);
     r.prewarm(&plan, cli.jobs());
 
     println!("# Figure 5: slipstream (L1/L0/G1/G0) and double vs single mode");

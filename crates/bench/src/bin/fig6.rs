@@ -36,7 +36,7 @@ fn main() {
             );
         }
     }
-    let mut r = Runner::new();
+    let mut r = Runner::for_cli(&cli);
     r.prewarm(&plan, cli.jobs());
 
     println!("# Figure 6: execution time breakdown at {nodes} CMPs (% of single mode)");

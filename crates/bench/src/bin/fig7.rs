@@ -28,7 +28,7 @@ fn main() {
             );
         }
     }
-    let mut r = Runner::new();
+    let mut r = Runner::for_cli(&cli);
     r.prewarm(&plan, cli.jobs());
 
     println!("# Figure 7: shared-data request classification at {nodes} CMPs (%)");

@@ -26,7 +26,7 @@ fn main() {
             plan.add(w.as_ref(), RunSpec::new(nodes, ExecMode::Slipstream).with_slip(slip));
         }
     }
-    let mut r = Runner::new();
+    let mut r = Runner::for_cli(&cli);
     r.prewarm(&plan, cli.jobs());
 
     println!("# Figure 9: transparent load breakdown (% of A-stream read requests)");

@@ -28,7 +28,7 @@ fn main() {
         }
         plan.add(w.as_ref(), RunSpec::new(nodes, ExecMode::Slipstream).with_slip(si_slip));
     }
-    let mut r = Runner::new();
+    let mut r = Runner::for_cli(&cli);
     r.prewarm(&plan, cli.jobs());
 
     println!("# Slipstream vs best conventional mode");

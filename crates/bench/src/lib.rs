@@ -8,7 +8,10 @@
 //! * `--bench NAME` — restrict to one benchmark;
 //! * `--nodes N[,N...]` — override the CMP-count sweep;
 //! * `--jobs N` — worker threads for the simulation grid (defaults to the
-//!   host's available parallelism; results are identical for any value).
+//!   host's available parallelism; results are identical for any value);
+//! * `--check` — attach the coherence invariant checker
+//!   ([`slipstream_check::ProtocolChecker`]) to every run; a violation
+//!   fails the figure instead of rendering suspect numbers.
 //!
 //! The binaries follow one pattern: declare the full grid of runs as a
 //! [`Plan`], execute it across cores with [`Runner::prewarm`], then render
@@ -16,7 +19,7 @@
 
 use std::collections::HashMap;
 
-use slipstream_core::{run, ExecMode, RunResult, RunSpec, SlipstreamConfig, Workload};
+use slipstream_core::{ExecMode, RunResult, RunSpec, SlipstreamConfig, Workload};
 use slipstream_workloads::{paper_suite, quick_suite};
 
 mod par;
@@ -34,6 +37,8 @@ pub struct Cli {
     pub nodes: Option<Vec<u16>>,
     /// Worker threads for executing the simulation grid.
     pub jobs: Option<usize>,
+    /// Run every simulation with the protocol invariant checker attached.
+    pub check: bool,
 }
 
 impl Cli {
@@ -63,8 +68,10 @@ impl Cli {
                     let v = args.next().expect("--jobs needs a thread count");
                     cli.jobs = Some(v.parse().expect("--jobs takes an integer"));
                 }
+                "--check" => cli.check = true,
                 other => panic!(
-                    "unknown flag {other}; supported: --quick --bench NAME --nodes N,N --jobs N"
+                    "unknown flag {other}; supported: --quick --bench NAME --nodes N,N --jobs N \
+                     --check"
                 ),
             }
         }
@@ -102,6 +109,7 @@ impl Cli {
 #[derive(Default)]
 pub struct Runner {
     cache: HashMap<RunKey, RunResult>,
+    check: bool,
 }
 
 impl Runner {
@@ -110,12 +118,19 @@ impl Runner {
         Runner::default()
     }
 
+    /// Creates a runner honouring the CLI's `--check` flag: every
+    /// simulation (prewarmed or on-demand) then runs with the protocol
+    /// invariant checker attached, and a violation aborts the figure.
+    pub fn for_cli(cli: &Cli) -> Runner {
+        Runner { cache: HashMap::new(), check: cli.check }
+    }
+
     /// Executes `plan` across `jobs` threads and absorbs every result into
     /// the cache. Subsequent [`Runner::run`] calls for those cells are
     /// cache hits, so the reporting pass stays strictly serial and ordered
     /// while the simulations use all cores.
     pub fn prewarm(&mut self, plan: &Plan<'_>, jobs: usize) {
-        let results = plan.execute(jobs);
+        let results = plan.execute_opts(jobs, self.check);
         for (key, result) in plan.keys().zip(results) {
             self.cache.entry(key).or_insert(result);
         }
@@ -128,7 +143,7 @@ impl Runner {
             return r.clone();
         }
         let started = std::time::Instant::now();
-        let r = run(workload, spec);
+        let r = par::run_cell(workload, spec, self.check);
         eprintln!(
             "  [ran {} {} @{} CMPs in {:.1}s: {} cycles]",
             workload.name(),

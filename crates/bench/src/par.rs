@@ -102,6 +102,16 @@ impl<'w> Plan<'w> {
     /// cursor, so threads stay busy regardless of per-run cost; the result
     /// order (and every simulated number) is independent of `jobs`.
     pub fn execute(&self, jobs: usize) -> Vec<RunResult> {
+        self.execute_opts(jobs, false)
+    }
+
+    /// [`Plan::execute`] with the coherence invariant checker optionally
+    /// attached to every run (`--check` on the figure binaries).
+    ///
+    /// Checked runs are bit-identical to unchecked ones; a protocol
+    /// violation prints the report and panics, failing the figure loudly
+    /// rather than rendering numbers from a run the checker rejected.
+    pub fn execute_opts(&self, jobs: usize, check: bool) -> Vec<RunResult> {
         // Dedup: map every cell to the first cell with the same key.
         let mut first_of: HashMap<RunKey, usize> = HashMap::new();
         let mut unique: Vec<usize> = Vec::new(); // cell index of each unique run
@@ -128,7 +138,7 @@ impl<'w> Plan<'w> {
                     }
                     let (w, spec) = &self.cells[unique[u]];
                     let started = std::time::Instant::now();
-                    let r = run(*w, spec);
+                    let r = run_cell(*w, spec, check);
                     eprintln!(
                         "  [ran {} {} @{} CMPs in {:.1}s: {} cycles]",
                         w.name(),
@@ -153,6 +163,33 @@ impl<'w> Plan<'w> {
             })
             .collect()
     }
+}
+
+/// Runs one cell, with the protocol invariant checker attached when
+/// `check` is set.
+///
+/// # Panics
+///
+/// Panics if the checker reports any violation (after printing the full
+/// report to stderr).
+pub(crate) fn run_cell(w: &dyn Workload, spec: &RunSpec, check: bool) -> RunResult {
+    if !check {
+        return run(w, spec);
+    }
+    let (r, report) = slipstream_check::run_checked(w, spec);
+    if !report.ok() {
+        for v in &report.violations {
+            eprintln!("{} {v}", w.name());
+        }
+        panic!(
+            "protocol checker rejected {} {} @{} CMPs: {}",
+            w.name(),
+            spec.mode,
+            spec.nodes,
+            report.summary()
+        );
+    }
+    r
 }
 
 #[cfg(test)]

@@ -1,0 +1,235 @@
+//! `check` — lint the workload suite and (optionally) run the dynamic
+//! protocol invariant checker.
+//!
+//! ```text
+//! check [--quick] [--bench NAME] [--tasks N,N,...] [--json]   static lint
+//! check --selftest                                            verifier self-test
+//! check --dynamic [--quick] [--bench NAME] [--nodes N]
+//!       [--mode single|double|slipstream|slipstream+si] [--json]
+//! ```
+//!
+//! The static lint walks every workload's generated programs (conventional
+//! and slipstream instantiations at each task count) through the
+//! happens-before verifier. `--selftest` runs the seeded-mutation corpus
+//! and fails unless every planted defect is caught. `--dynamic` runs real
+//! simulations with the coherence invariant checker attached.
+//!
+//! Exit status: 0 clean, 1 findings (error-severity diagnostics, selftest
+//! failures, or protocol violations), 2 usage error.
+
+use std::process::ExitCode;
+
+use slipstream_check::{has_errors, mutations, run_checked, Severity};
+use slipstream_core::{ArSyncMode, ExecMode, RunSpec, SlipstreamConfig, Workload};
+use slipstream_workloads::{by_name, paper_suite, quick_suite};
+
+struct Cli {
+    quick: bool,
+    bench: Option<String>,
+    tasks: Vec<usize>,
+    json: bool,
+    selftest: bool,
+    dynamic: bool,
+    nodes: u16,
+    mode: String,
+}
+
+impl Cli {
+    fn parse() -> Result<Cli, String> {
+        let mut cli = Cli {
+            quick: false,
+            bench: None,
+            tasks: vec![2, 8],
+            json: false,
+            selftest: false,
+            dynamic: false,
+            nodes: 2,
+            mode: "slipstream+si".to_string(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| {
+                args.next().ok_or_else(|| format!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--quick" => cli.quick = true,
+                "--json" => cli.json = true,
+                "--selftest" => cli.selftest = true,
+                "--dynamic" => cli.dynamic = true,
+                "--bench" => cli.bench = Some(value("--bench")?),
+                "--nodes" => {
+                    cli.nodes = value("--nodes")?
+                        .parse()
+                        .map_err(|e| format!("--nodes: {e}"))?;
+                }
+                "--mode" => cli.mode = value("--mode")?,
+                "--tasks" => {
+                    cli.tasks = value("--tasks")?
+                        .split(',')
+                        .map(|s| s.trim().parse().map_err(|e| format!("--tasks: {e}")))
+                        .collect::<Result<_, _>>()?;
+                    if cli.tasks.is_empty() {
+                        return Err("--tasks needs at least one count".to_string());
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown flag {other}; supported: --quick --bench NAME --tasks N,N \
+                         --json --selftest --dynamic --nodes N --mode MODE"
+                    ))
+                }
+            }
+        }
+        Ok(cli)
+    }
+
+    fn suite(&self) -> Result<Vec<Box<dyn Workload>>, String> {
+        match &self.bench {
+            Some(name) => by_name(name, self.quick)
+                .map(|w| vec![w])
+                .ok_or_else(|| format!("unknown benchmark `{name}`")),
+            None => Ok(if self.quick { quick_suite() } else { paper_suite() }),
+        }
+    }
+}
+
+fn static_lint(cli: &Cli) -> Result<bool, String> {
+    let mut errors = false;
+    let mut total = 0usize;
+    let mut configs = 0usize;
+    for w in cli.suite()? {
+        for &ntasks in &cli.tasks {
+            for slipstream in [false, true] {
+                let label = if slipstream { "slipstream" } else { "conventional" };
+                let diags = slipstream_check::verify_workload(w.as_ref(), ntasks, slipstream);
+                configs += 1;
+                total += diags.len();
+                let errs = diags.iter().filter(|d| d.severity == Severity::Error).count();
+                if cli.json {
+                    for d in &diags {
+                        println!(
+                            "{{\"bench\":\"{}\",\"ntasks\":{ntasks},\"config\":\"{label}\",\
+                             \"diag\":{}}}",
+                            w.name(),
+                            d.to_json()
+                        );
+                    }
+                } else {
+                    for d in &diags {
+                        println!("{} [ntasks={ntasks}, {label}] {d}", w.name());
+                    }
+                }
+                if has_errors(&diags) {
+                    errors = true;
+                }
+                if !cli.json {
+                    let verdict = if errs > 0 {
+                        format!("{errs} error(s)")
+                    } else if diags.is_empty() {
+                        "ok".to_string()
+                    } else {
+                        format!("ok ({} warning(s))", diags.len())
+                    };
+                    println!("{:<10} ntasks={ntasks:<2} {label:<12} {verdict}", w.name());
+                }
+            }
+        }
+    }
+    if !cli.json {
+        println!("checked {configs} workload configs: {total} diagnostic(s)");
+    }
+    Ok(!errors)
+}
+
+fn selftest(cli: &Cli) -> bool {
+    let failures = mutations::selftest();
+    let cases = mutations::mutation_cases().len();
+    for f in &failures {
+        eprintln!("selftest FAIL: {f}");
+    }
+    if !cli.json {
+        println!(
+            "selftest: {}/{} seeded defects detected",
+            cases - failures.len(),
+            cases
+        );
+    }
+    failures.is_empty()
+}
+
+fn dynamic(cli: &Cli) -> Result<bool, String> {
+    let (mode, slip) = match cli.mode.as_str() {
+        "single" => (ExecMode::Single, SlipstreamConfig::default()),
+        "double" => (ExecMode::Double, SlipstreamConfig::default()),
+        "slipstream" => (
+            ExecMode::Slipstream,
+            SlipstreamConfig::prefetch_only(ArSyncMode::OneTokenGlobal),
+        ),
+        "slipstream+si" => (
+            ExecMode::Slipstream,
+            SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal),
+        ),
+        other => return Err(format!("unknown --mode {other}")),
+    };
+    let mut clean = true;
+    for w in cli.suite()? {
+        let spec = RunSpec::new(cli.nodes, mode).with_slip(slip);
+        let (result, report) = run_checked(w.as_ref(), &spec);
+        if cli.json {
+            for v in &report.violations {
+                println!("{{\"bench\":\"{}\",\"violation\":{}}}", w.name(), v.to_json());
+            }
+            println!(
+                "{{\"bench\":\"{}\",\"mode\":\"{}\",\"nodes\":{},\"exec_cycles\":{},\
+                 \"violations\":{},\"suppressed\":{}}}",
+                w.name(),
+                cli.mode,
+                cli.nodes,
+                result.exec_cycles,
+                report.violations.len(),
+                report.suppressed
+            );
+        } else {
+            for v in &report.violations {
+                println!("{} {v}", w.name());
+            }
+            println!(
+                "{:<10} {} nodes={} cycles={}: {}",
+                w.name(),
+                cli.mode,
+                cli.nodes,
+                result.exec_cycles,
+                report.summary()
+            );
+        }
+        if !report.ok() {
+            clean = false;
+        }
+    }
+    Ok(clean)
+}
+
+fn main() -> ExitCode {
+    let cli = match Cli::parse() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = if cli.selftest {
+        Ok(selftest(&cli))
+    } else if cli.dynamic {
+        dynamic(&cli)
+    } else {
+        static_lint(&cli)
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("check: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

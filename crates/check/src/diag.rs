@@ -1,0 +1,264 @@
+//! Typed diagnostics for the static program verifier.
+//!
+//! Every finding carries a stable rule id (`SC001`..`SC012`, catalogued in
+//! `docs/static-analysis.md`), a severity, and — where meaningful — the
+//! task and per-task operation index the finding anchors to. Diagnostics
+//! render to one human-readable line or to a JSON object; the `check`
+//! binary exits nonzero when any `Error`-severity diagnostic is present.
+
+use std::fmt;
+
+/// How bad a finding is. `Error` findings fail the `check` binary;
+/// `Warning` findings are reported but do not affect the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not provably wrong (e.g. leftover event posts).
+    Warning,
+    /// A contract violation: the program is not properly synchronized or
+    /// its layout is inconsistent.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The verifier's rule catalogue. Stable ids; see `docs/static-analysis.md`
+/// for the full description and the paper sections each rule protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// SC001: two tasks access the same `Space::Shared` address without a
+    /// happens-before ordering, at least one of them writing.
+    SharedRace,
+    /// SC002: a `Space::Private` address owned by one instance is touched
+    /// by a different task/instance.
+    PrivateIsolation,
+    /// SC003: tasks disagree on barrier participation (different arrival
+    /// counts or ids), deadlocking or silently merging generations.
+    BarrierMismatch,
+    /// SC004: a task arrives at a barrier while holding a lock.
+    LockAcrossBarrier,
+    /// SC005: `Unlock` of a lock the task does not hold.
+    UnlockWithoutLock,
+    /// SC006: a task ends (or deadlocks the program) with locks held.
+    LeakedLock,
+    /// SC007: `EventWait` with no matching `EventPost` (error), or posts
+    /// left unconsumed at program end (warning).
+    UnbalancedEvents,
+    /// SC008: two layout regions overlap.
+    LayoutOverlap,
+    /// SC009: an access's declared `Space` disagrees with the layout
+    /// region containing its address.
+    SpaceMismatch,
+    /// SC010: the task set cannot make progress (lock cycle, self-deadlock,
+    /// or a block not attributable to SC003/SC007).
+    SyncDeadlock,
+    /// SC011: an access to an address outside every layout region.
+    UnmappedAddress,
+    /// SC012: a slipstream A-instance program diverges from its R-instance
+    /// (shared addresses or sync structure depend on the instance).
+    InstanceDivergence,
+}
+
+impl Rule {
+    /// Stable rule id, e.g. `"SC001"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::SharedRace => "SC001",
+            Rule::PrivateIsolation => "SC002",
+            Rule::BarrierMismatch => "SC003",
+            Rule::LockAcrossBarrier => "SC004",
+            Rule::UnlockWithoutLock => "SC005",
+            Rule::LeakedLock => "SC006",
+            Rule::UnbalancedEvents => "SC007",
+            Rule::LayoutOverlap => "SC008",
+            Rule::SpaceMismatch => "SC009",
+            Rule::SyncDeadlock => "SC010",
+            Rule::UnmappedAddress => "SC011",
+            Rule::InstanceDivergence => "SC012",
+        }
+    }
+
+    /// Short kebab-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::SharedRace => "shared-data-race",
+            Rule::PrivateIsolation => "private-isolation",
+            Rule::BarrierMismatch => "barrier-mismatch",
+            Rule::LockAcrossBarrier => "lock-across-barrier",
+            Rule::UnlockWithoutLock => "unlock-without-lock",
+            Rule::LeakedLock => "leaked-lock",
+            Rule::UnbalancedEvents => "unbalanced-events",
+            Rule::LayoutOverlap => "layout-overlap",
+            Rule::SpaceMismatch => "space-mismatch",
+            Rule::SyncDeadlock => "sync-deadlock",
+            Rule::UnmappedAddress => "unmapped-address",
+            Rule::InstanceDivergence => "instance-divergence",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.id(), self.name())
+    }
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Error vs. warning.
+    pub severity: Severity,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Task index the finding anchors to, if any.
+    pub task: Option<usize>,
+    /// Zero-based index of the op within that task's program, if any.
+    pub op_index: Option<u64>,
+    /// Byte address involved, if any.
+    pub addr: Option<u64>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An `Error`-severity diagnostic.
+    pub fn error(rule: Rule, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            rule,
+            task: None,
+            op_index: None,
+            addr: None,
+            message: message.into(),
+        }
+    }
+
+    /// A `Warning`-severity diagnostic.
+    pub fn warning(rule: Rule, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { severity: Severity::Warning, ..Diagnostic::error(rule, message) }
+    }
+
+    /// Attaches the task index.
+    pub fn at_task(mut self, task: usize) -> Diagnostic {
+        self.task = Some(task);
+        self
+    }
+
+    /// Attaches the per-task op index.
+    pub fn at_op(mut self, op_index: u64) -> Diagnostic {
+        self.op_index = Some(op_index);
+        self
+    }
+
+    /// Attaches the byte address.
+    pub fn at_addr(mut self, addr: u64) -> Diagnostic {
+        self.addr = Some(addr);
+        self
+    }
+
+    /// Renders the diagnostic as one JSON object (hand-rolled, like the
+    /// rest of the workspace: no external dependencies).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"severity\":\"");
+        s.push_str(&self.severity.to_string());
+        s.push_str("\",\"rule\":\"");
+        s.push_str(self.rule.id());
+        s.push_str("\",\"name\":\"");
+        s.push_str(self.rule.name());
+        s.push('"');
+        if let Some(t) = self.task {
+            s.push_str(&format!(",\"task\":{t}"));
+        }
+        if let Some(i) = self.op_index {
+            s.push_str(&format!(",\"op_index\":{i}"));
+        }
+        if let Some(a) = self.addr {
+            s.push_str(&format!(",\"addr\":{a}"));
+        }
+        s.push_str(",\"message\":\"");
+        s.push_str(&json_escape(&self.message));
+        s.push_str("\"}");
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.severity, self.rule)?;
+        if let Some(t) = self.task {
+            write!(f, " task {t}")?;
+        }
+        if let Some(i) = self.op_index {
+            write!(f, " op {i}")?;
+        }
+        if let Some(a) = self.addr {
+            write!(f, " addr {a:#x}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// True when any diagnostic has `Error` severity (the `check` binary's
+/// exit criterion).
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_json_round_trip_fields() {
+        let d = Diagnostic::error(Rule::SharedRace, "t0 store vs t1 load")
+            .at_task(1)
+            .at_op(42)
+            .at_addr(0x1040);
+        let line = d.to_string();
+        assert!(line.contains("SC001"));
+        assert!(line.contains("task 1"));
+        assert!(line.contains("op 42"));
+        let json = d.to_json();
+        assert!(json.contains("\"rule\":\"SC001\""));
+        assert!(json.contains("\"task\":1"));
+        assert!(json.contains("\"op_index\":42"));
+        assert!(json.contains("\"addr\":4160"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn error_detection() {
+        let w = Diagnostic::warning(Rule::UnbalancedEvents, "2 posts left");
+        assert!(!has_errors(std::slice::from_ref(&w)));
+        let e = Diagnostic::error(Rule::LeakedLock, "lock 3 held at end");
+        assert!(has_errors(&[w, e]));
+    }
+}

@@ -1,0 +1,90 @@
+//! Correctness tooling for the slipstream reproduction.
+//!
+//! Two independent checkers guard the paper's assumptions:
+//!
+//! 1. **Static DSL verifier** ([`verify_workload`], [`verify_tasks`]) —
+//!    walks each workload's generated task programs once, computing
+//!    happens-before with vector clocks over barriers, locks, and events,
+//!    and reports data races on shared data, private-space isolation
+//!    violations, barrier/lock/event discipline bugs, and layout
+//!    inconsistencies as typed [`Diagnostic`]s (rules `SC001`..`SC012`).
+//!    The paper's A-stream safety argument (§3.2) holds only for properly
+//!    synchronized programs, so every workload is linted before its
+//!    numbers are trusted.
+//!
+//! 2. **Dynamic protocol invariant checker** ([`ProtocolChecker`],
+//!    [`run_checked`]) — shadows the directory and L2 copy state through
+//!    the observation-only [`slipstream_mem::MemTracer`] hooks during a
+//!    real simulation and asserts SWMR, sharer-set/copy agreement at
+//!    quiescence, MSHR no-leak, and the §4 self-invalidation contracts
+//!    (rules `PC001`..`PC009`). Checked runs are bit-identical to
+//!    unchecked ones.
+//!
+//! The `check` binary fronts both; `docs/static-analysis.md` documents the
+//! rule catalogue.
+
+pub mod diag;
+pub mod mutations;
+pub mod protocol;
+pub mod verify;
+
+pub use diag::{has_errors, json_escape, Diagnostic, Rule, Severity};
+pub use protocol::{
+    run_checked, CheckCounts, CheckReport, CheckTracer, ProtoRule, ProtocolChecker, Violation,
+};
+pub use verify::{verify_layout, verify_pair, verify_tasks, TaskProgram};
+
+use slipstream_core::Workload;
+use slipstream_kernel::config::MachineConfig;
+use slipstream_prog::{InstanceId, Layout};
+
+/// Statically verifies one workload's generated programs for a run with
+/// `ntasks` tasks.
+///
+/// Mirrors the runner's instantiation conventions exactly (page size from
+/// the workload's machine config, instance-id assignment per mode):
+///
+/// * `slipstream == false` — a conventional task set: instance `t` runs
+///   task `t` (covers both `Single` with `ntasks == nodes` and `Double`
+///   with `ntasks == 2 * nodes`). The full happens-before analysis runs
+///   over all tasks.
+/// * `slipstream == true` — task `t`'s R-stream is instance `2t` and its
+///   A-stream instance `2t+1`. The R set gets the full analysis; each
+///   A program is additionally checked for private isolation and for
+///   skeleton identity with its R program (rule `SC012`), which is what
+///   licenses the A-stream to run ahead.
+pub fn verify_workload(workload: &dyn Workload, ntasks: usize, slipstream: bool) -> Vec<Diagnostic> {
+    let nodes = ntasks.max(1) as u16;
+    let cfg = if workload.small_l2() {
+        MachineConfig::water(nodes)
+    } else {
+        MachineConfig::with_nodes(nodes)
+    };
+    let mut layout = Layout::with_page_size(cfg.page_bytes);
+    let builder = workload.instantiate(ntasks, &mut layout);
+    if !slipstream {
+        let tasks: Vec<TaskProgram> = (0..ntasks)
+            .map(|t| {
+                let inst = InstanceId(t as u32);
+                TaskProgram { task: t, inst, prog: builder(&mut layout, inst, t) }
+            })
+            .collect();
+        verify_tasks(&layout, &tasks)
+    } else {
+        // Build in the runner's order (R then A per task) so private
+        // regions land at the same addresses the simulator would use.
+        let mut r_tasks = Vec::with_capacity(ntasks);
+        let mut a_tasks = Vec::with_capacity(ntasks);
+        for t in 0..ntasks {
+            let r_inst = InstanceId(2 * t as u32);
+            r_tasks.push(TaskProgram { task: t, inst: r_inst, prog: builder(&mut layout, r_inst, t) });
+            let a_inst = InstanceId(2 * t as u32 + 1);
+            a_tasks.push(TaskProgram { task: t, inst: a_inst, prog: builder(&mut layout, a_inst, t) });
+        }
+        let mut diags = verify_tasks(&layout, &r_tasks);
+        for (r, a) in r_tasks.iter().zip(&a_tasks) {
+            diags.extend(verify_pair(&layout, r, a));
+        }
+        diags
+    }
+}

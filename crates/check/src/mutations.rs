@@ -1,0 +1,264 @@
+//! Seeded-defect programs for validating the verifier itself.
+//!
+//! Each [`MutationCase`] is a small task set with exactly one discipline
+//! violation planted in it, annotated with the rule that must fire. The
+//! mutation tests and the `check --selftest` subcommand run every case and
+//! assert the expected rule id is reported — so a verifier regression that
+//! silently stops detecting a class of bugs fails loudly.
+
+use slipstream_kernel::Addr;
+use slipstream_prog::{BarrierId, EventId, InstanceId, Layout, LockId, ProgBuilder};
+
+use crate::diag::{Diagnostic, Rule, Severity};
+use crate::verify::{verify_pair, verify_tasks, TaskProgram};
+
+/// How a case is verified.
+pub enum CaseKind {
+    /// Run the full scheduler over `tasks` (conventional task set).
+    TaskSet,
+    /// Compare `tasks[0]` (R) against `tasks[1]` (A) as a slipstream pair.
+    Pair,
+}
+
+/// One seeded-defect program set.
+pub struct MutationCase {
+    /// Case name (stable, used in test output).
+    pub name: &'static str,
+    /// The rule that must fire with `Error` severity.
+    pub expect: Rule,
+    /// The layout the programs run against.
+    pub layout: Layout,
+    /// The task programs.
+    pub tasks: Vec<TaskProgram>,
+    /// How to verify.
+    pub kind: CaseKind,
+}
+
+fn task(t: usize, inst: u32, prog: slipstream_prog::Program) -> TaskProgram {
+    TaskProgram { task: t, inst: InstanceId(inst), prog }
+}
+
+/// Every seeded case, one per detectable defect class.
+pub fn mutation_cases() -> Vec<MutationCase> {
+    let mut cases = Vec::new();
+
+    // SC006: task 0's unlock was dropped, so it ends holding the lock
+    // (and task 1 starves on it, which additionally reports SC010).
+    {
+        let mut layout = Layout::new();
+        let x = layout.shared("x", 128);
+        let mut t0 = ProgBuilder::new();
+        t0.lock(LockId(0)).store_shared(x.at_byte(0)); // unlock dropped here
+        let mut t1 = ProgBuilder::new();
+        t1.lock(LockId(0)).store_shared(x.at_byte(64)).unlock(LockId(0));
+        cases.push(MutationCase {
+            name: "dropped-unlock",
+            expect: Rule::LeakedLock,
+            layout,
+            tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
+            kind: CaseKind::TaskSet,
+        });
+    }
+
+    // SC005: unlock of a lock that was never acquired.
+    {
+        let layout = Layout::new();
+        let mut t0 = ProgBuilder::new();
+        t0.compute(4).unlock(LockId(7));
+        let mut t1 = ProgBuilder::new();
+        t1.compute(4);
+        cases.push(MutationCase {
+            name: "unlock-without-lock",
+            expect: Rule::UnlockWithoutLock,
+            layout,
+            tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
+            kind: CaseKind::TaskSet,
+        });
+    }
+
+    // SC003: task 1 skips the second barrier generation, stranding task 0.
+    {
+        let layout = Layout::new();
+        let mut t0 = ProgBuilder::new();
+        t0.barrier(BarrierId(0)).compute(2).barrier(BarrierId(0));
+        let mut t1 = ProgBuilder::new();
+        t1.barrier(BarrierId(0)).compute(2); // second barrier skipped here
+        cases.push(MutationCase {
+            name: "skipped-barrier",
+            expect: Rule::BarrierMismatch,
+            layout,
+            tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
+            kind: CaseKind::TaskSet,
+        });
+    }
+
+    // SC002: task 1 reaches into task 0's private region.
+    {
+        let mut layout = Layout::new();
+        let p0 = layout.private(InstanceId(0), "p0", 256);
+        let p1 = layout.private(InstanceId(1), "p1", 256);
+        let mut t0 = ProgBuilder::new();
+        t0.store_private(p0.at_byte(0));
+        let mut t1 = ProgBuilder::new();
+        t1.store_private(p1.at_byte(0)).store_private(p0.at_byte(64)); // cross-task access
+        cases.push(MutationCase {
+            name: "cross-task-private",
+            expect: Rule::PrivateIsolation,
+            layout,
+            tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
+            kind: CaseKind::TaskSet,
+        });
+    }
+
+    // SC007: the producer's post was removed; the consumer waits forever.
+    {
+        let layout = Layout::new();
+        let mut t0 = ProgBuilder::new();
+        t0.compute(8); // post(EventId(0)) removed here
+        let mut t1 = ProgBuilder::new();
+        t1.wait(EventId(0));
+        cases.push(MutationCase {
+            name: "removed-post",
+            expect: Rule::UnbalancedEvents,
+            layout,
+            tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
+            kind: CaseKind::TaskSet,
+        });
+    }
+
+    // SC001: both tasks store the same shared line with no ordering.
+    {
+        let mut layout = Layout::new();
+        let x = layout.shared("x", 64);
+        let mut t0 = ProgBuilder::new();
+        t0.store_shared(x.at_byte(0)).compute(2);
+        let mut t1 = ProgBuilder::new();
+        t1.compute(2).store_shared(x.at_byte(0));
+        cases.push(MutationCase {
+            name: "unsynchronized-stores",
+            expect: Rule::SharedRace,
+            layout,
+            tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
+            kind: CaseKind::TaskSet,
+        });
+    }
+
+    // SC004: both tasks arrive at the barrier holding a (distinct) lock.
+    {
+        let layout = Layout::new();
+        let mk = |l: u32| {
+            let mut b = ProgBuilder::new();
+            b.lock(LockId(l)).barrier(BarrierId(0)).unlock(LockId(l));
+            b.build("m")
+        };
+        cases.push(MutationCase {
+            name: "lock-across-barrier",
+            expect: Rule::LockAcrossBarrier,
+            layout,
+            tasks: vec![task(0, 0, mk(0)), task(1, 1, mk(1))],
+            kind: CaseKind::TaskSet,
+        });
+    }
+
+    // SC010: self-deadlock (re-acquiring a held, non-recursive lock).
+    {
+        let layout = Layout::new();
+        let mk = || {
+            let mut b = ProgBuilder::new();
+            b.lock(LockId(0)).lock(LockId(0)).unlock(LockId(0)).unlock(LockId(0));
+            b.build("m")
+        };
+        cases.push(MutationCase {
+            name: "relock-deadlock",
+            expect: Rule::SyncDeadlock,
+            layout,
+            tasks: vec![task(0, 0, mk()), task(1, 1, mk())],
+            kind: CaseKind::TaskSet,
+        });
+    }
+
+    // SC009: an access declared Shared lands in the task's own private
+    // region (space annotation drifted from the layout).
+    {
+        let mut layout = Layout::new();
+        let p0 = layout.private(InstanceId(0), "p0", 128);
+        let mut t0 = ProgBuilder::new();
+        t0.load_shared(p0.at_byte(0));
+        let mut t1 = ProgBuilder::new();
+        t1.compute(1);
+        cases.push(MutationCase {
+            name: "space-mismatch",
+            expect: Rule::SpaceMismatch,
+            layout,
+            tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
+            kind: CaseKind::TaskSet,
+        });
+    }
+
+    // SC011: an access to an address no region contains.
+    {
+        let mut layout = Layout::new();
+        layout.shared("x", 64);
+        let mut t0 = ProgBuilder::new();
+        t0.load_shared(Addr(1 << 40));
+        let mut t1 = ProgBuilder::new();
+        t1.compute(1);
+        cases.push(MutationCase {
+            name: "unmapped-address",
+            expect: Rule::UnmappedAddress,
+            layout,
+            tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
+            kind: CaseKind::TaskSet,
+        });
+    }
+
+    // SC012: the A-stream's shared addresses depend on the instance.
+    {
+        let mut layout = Layout::new();
+        let x = layout.shared("x", 256);
+        let mk = |off: u64| {
+            let mut b = ProgBuilder::new();
+            b.load_shared(x.at_byte(off)).barrier(BarrierId(0));
+            b.build("m")
+        };
+        cases.push(MutationCase {
+            name: "instance-divergence",
+            expect: Rule::InstanceDivergence,
+            layout,
+            tasks: vec![task(0, 0, mk(0)), task(0, 1, mk(64))],
+            kind: CaseKind::Pair,
+        });
+    }
+
+    cases
+}
+
+/// Runs one case through the appropriate verifier entry point.
+pub fn run_case(case: &MutationCase) -> Vec<Diagnostic> {
+    match case.kind {
+        CaseKind::TaskSet => verify_tasks(&case.layout, &case.tasks),
+        CaseKind::Pair => verify_pair(&case.layout, &case.tasks[0], &case.tasks[1]),
+    }
+}
+
+/// Runs every case; returns a failure message per case whose expected rule
+/// did not fire at `Error` severity (empty = verifier healthy).
+pub fn selftest() -> Vec<String> {
+    let mut failures = Vec::new();
+    for case in mutation_cases() {
+        let diags = run_case(&case);
+        let hit = diags
+            .iter()
+            .any(|d| d.rule == case.expect && d.severity == Severity::Error);
+        if !hit {
+            let got: Vec<&str> = diags.iter().map(|d| d.rule.id()).collect();
+            failures.push(format!(
+                "case `{}`: expected {} to fire, got {:?}",
+                case.name,
+                case.expect.id(),
+                got
+            ));
+        }
+    }
+    failures
+}

@@ -1,0 +1,772 @@
+//! Static verifier for DSL task programs.
+//!
+//! The verifier interprets the *synchronization skeleton* of a task set —
+//! barriers, locks, events — with vector clocks, and checks every memory
+//! access against the happens-before order and the declared layout. It
+//! never simulates the machine: programs are walked exactly once per task
+//! by a cooperative scheduler, so checking is linear in program size and
+//! independent of machine configuration.
+//!
+//! What this buys for the reproduction: the paper's A-stream safety
+//! argument (§3.2) assumes the underlying application is *properly
+//! synchronized* — the A-stream may run ahead precisely because every
+//! shared communication is ordered by explicit synchronization that the
+//! slipstream runtime intercepts. A workload with a latent data race or a
+//! sync-discipline bug would silently invalidate slipstream results, so
+//! every generated program is linted here before it is trusted in a
+//! figure.
+
+use std::collections::VecDeque;
+
+use slipstream_kernel::{Addr, FxHashMap};
+use slipstream_prog::{InstanceId, Layout, Op, Program, RegionKind, Space};
+
+use crate::diag::{Diagnostic, Rule};
+
+/// One task's program together with the identity it was built under.
+pub struct TaskProgram {
+    /// Task index (barrier/lock semantics are per task).
+    pub task: usize,
+    /// Stream instance the program was instantiated for (private-region
+    /// ownership is per instance).
+    pub inst: InstanceId,
+    /// The program itself.
+    pub prog: Program,
+}
+
+/// Vector clock: one logical-clock component per task.
+type Vc = Vec<u64>;
+
+fn vc_join(dst: &mut Vc, src: &Vc) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// Per-address access history for FastTrack-style race detection: the last
+/// write as an epoch, and per-task read clocks.
+struct Cell {
+    /// `(task, clock, op_index)` of the most recent write.
+    write: Option<(usize, u64, u64)>,
+    /// Per-task `(clock, op_index)` of that task's most recent read
+    /// (clock 0 = never; task clocks start at 1).
+    reads: Vec<(u64, u64)>,
+}
+
+/// What a task is blocked on.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    /// Waiting to acquire a lock.
+    Lock(u32),
+    /// Waiting for an event post.
+    Event(u32),
+    /// Arrived at a barrier, waiting for the rest.
+    Barrier(u32),
+}
+
+struct LockState {
+    holder: Option<usize>,
+    /// Vector clock of the last release (acquire joins it: release→acquire
+    /// edge).
+    release_vc: Vc,
+}
+
+struct TaskState {
+    iter: slipstream_prog::ProgramIter,
+    /// Index the *next* op fetched from the iterator will get.
+    next_idx: u64,
+    /// Op we are blocked on, with its index (re-attempted on resume).
+    cur: Option<(Op, u64)>,
+    blocked: Option<Blocked>,
+    vc: Vc,
+    /// Locks currently held: `(lock id, acquire op index)`.
+    held: Vec<(u32, u64)>,
+    finished: bool,
+}
+
+/// Caps duplicate reporting: one SC001 per address, and a global ceiling so
+/// a systematically racy program doesn't produce megabytes of output.
+const MAX_RACE_REPORTS: usize = 50;
+
+struct Verifier<'a> {
+    layout: &'a Layout,
+    tasks: Vec<TaskState>,
+    insts: Vec<InstanceId>,
+    locks: FxHashMap<u32, LockState>,
+    /// Barrier id -> tasks currently waiting there.
+    barriers: FxHashMap<u32, Vec<usize>>,
+    /// Event id -> FIFO of post-time vector clocks (semaphore semantics).
+    events: FxHashMap<u32, VecDeque<Vc>>,
+    cells: FxHashMap<u64, Cell>,
+    /// Addresses already reported as racy.
+    raced: FxHashMap<u64, ()>,
+    suppressed_races: u64,
+    /// `(rule tag, task, key)` dedup for layout/space findings.
+    seen: FxHashMap<(u8, usize, u64), ()>,
+    diags: Vec<Diagnostic>,
+}
+
+impl<'a> Verifier<'a> {
+    fn new(layout: &'a Layout, tasks: &[TaskProgram]) -> Verifier<'a> {
+        let n = tasks.len();
+        let states = tasks
+            .iter()
+            .enumerate()
+            .map(|(t, tp)| {
+                let mut vc = vec![0u64; n];
+                vc[t] = 1;
+                TaskState {
+                    iter: tp.prog.iter(),
+                    next_idx: 0,
+                    cur: None,
+                    blocked: None,
+                    vc,
+                    held: Vec::new(),
+                    finished: false,
+                }
+            })
+            .collect();
+        Verifier {
+            layout,
+            tasks: states,
+            insts: tasks.iter().map(|tp| tp.inst).collect(),
+            locks: FxHashMap::default(),
+            barriers: FxHashMap::default(),
+            events: FxHashMap::default(),
+            cells: FxHashMap::default(),
+            raced: FxHashMap::default(),
+            suppressed_races: 0,
+            seen: FxHashMap::default(),
+            diags: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Vec<Diagnostic> {
+        let n = self.tasks.len();
+        loop {
+            let mut progress = false;
+            for t in 0..n {
+                progress |= self.run_task(t);
+            }
+            if self.tasks.iter().all(|s| s.finished) {
+                break;
+            }
+            if !progress {
+                self.report_stall();
+                break;
+            }
+        }
+        self.finish();
+        self.diags
+    }
+
+    /// Runs task `t` until it blocks or finishes. Returns whether any op
+    /// executed.
+    fn run_task(&mut self, t: usize) -> bool {
+        if self.tasks[t].finished {
+            return false;
+        }
+        let mut progress = false;
+        loop {
+            // A barrier waiter resumes only when the release clears this.
+            if matches!(self.tasks[t].blocked, Some(Blocked::Barrier(_))) {
+                return progress;
+            }
+            let (op, idx) = match self.tasks[t].cur.take() {
+                Some(c) => c,
+                None => {
+                    let s = &mut self.tasks[t];
+                    match s.iter.next() {
+                        Some(op) => {
+                            let idx = s.next_idx;
+                            s.next_idx += 1;
+                            (op, idx)
+                        }
+                        None => {
+                            s.finished = true;
+                            s.blocked = None;
+                            let held = std::mem::take(&mut s.held);
+                            for (l, acq) in held {
+                                self.diags.push(
+                                    Diagnostic::error(
+                                        Rule::LeakedLock,
+                                        format!("task ends holding lock {l} (acquired at op {acq})"),
+                                    )
+                                    .at_task(t)
+                                    .at_op(acq),
+                                );
+                            }
+                            return progress;
+                        }
+                    }
+                }
+            };
+            if self.exec(t, op, idx) {
+                self.tasks[t].blocked = None;
+                progress = true;
+            } else {
+                self.tasks[t].cur = Some((op, idx));
+                return progress;
+            }
+        }
+    }
+
+    /// Executes one op for task `t`. Returns `false` when the task blocks
+    /// (the op will be re-attempted).
+    fn exec(&mut self, t: usize, op: Op, idx: u64) -> bool {
+        match op {
+            Op::Compute(_) | Op::DivergeInA(_) | Op::Input => true,
+            Op::Load { addr, space } => {
+                if self.check_space(t, self.insts[t], addr, space, idx) {
+                    self.on_read(t, addr, idx);
+                }
+                true
+            }
+            Op::Store { addr, space } => {
+                if self.check_space(t, self.insts[t], addr, space, idx) {
+                    self.on_write(t, addr, idx);
+                }
+                true
+            }
+            Op::Lock(l) => {
+                let st = self.locks.entry(l.0).or_insert_with(|| LockState {
+                    holder: None,
+                    release_vc: vec![0; self.tasks.len()],
+                });
+                if st.holder.is_some() {
+                    self.tasks[t].blocked = Some(Blocked::Lock(l.0));
+                    return false;
+                }
+                st.holder = Some(t);
+                vc_join(&mut self.tasks[t].vc, &st.release_vc);
+                self.tasks[t].held.push((l.0, idx));
+                true
+            }
+            Op::Unlock(l) => {
+                let pos = self.tasks[t].held.iter().position(|&(id, _)| id == l.0);
+                match pos {
+                    Some(p) => {
+                        self.tasks[t].held.remove(p);
+                        let st = self.locks.get_mut(&l.0).expect("held lock has state");
+                        st.holder = None;
+                        st.release_vc = self.tasks[t].vc.clone();
+                        self.tasks[t].vc[t] += 1;
+                    }
+                    None => {
+                        let holder = self
+                            .locks
+                            .get(&l.0)
+                            .and_then(|s| s.holder)
+                            .map(|h| format!(" (held by task {h})"))
+                            .unwrap_or_default();
+                        self.diags.push(
+                            Diagnostic::error(
+                                Rule::UnlockWithoutLock,
+                                format!("unlock of lock {} not held by this task{holder}", l.0),
+                            )
+                            .at_task(t)
+                            .at_op(idx),
+                        );
+                    }
+                }
+                true
+            }
+            Op::Barrier(b) => {
+                if !self.tasks[t].held.is_empty() {
+                    let held: Vec<u32> =
+                        self.tasks[t].held.iter().map(|&(id, _)| id).collect();
+                    self.diags.push(
+                        Diagnostic::error(
+                            Rule::LockAcrossBarrier,
+                            format!("task arrives at barrier {} holding locks {held:?}", b.0),
+                        )
+                        .at_task(t)
+                        .at_op(idx),
+                    );
+                }
+                let waiting = self.barriers.entry(b.0).or_default();
+                if waiting.len() + 1 == self.tasks.len() {
+                    // Last arrival: join everyone's clocks and release.
+                    let mut joined = self.tasks[t].vc.clone();
+                    for &w in waiting.iter() {
+                        let wvc = self.tasks[w].vc.clone();
+                        vc_join(&mut joined, &wvc);
+                    }
+                    let released = std::mem::take(waiting);
+                    for &w in released.iter().chain(std::iter::once(&t)) {
+                        self.tasks[w].vc = joined.clone();
+                        self.tasks[w].vc[w] += 1;
+                    }
+                    for w in released {
+                        // The waiter's pending Barrier op is now satisfied.
+                        self.tasks[w].cur = None;
+                        self.tasks[w].blocked = None;
+                    }
+                    true
+                } else {
+                    waiting.push(t);
+                    self.tasks[t].blocked = Some(Blocked::Barrier(b.0));
+                    // Arrival is consumed; resume happens via the release
+                    // path above, never by re-executing the op.
+                    self.tasks[t].cur = Some((op, idx));
+                    false
+                }
+            }
+            Op::EventPost(e) => {
+                let vc = self.tasks[t].vc.clone();
+                self.events.entry(e.0).or_default().push_back(vc);
+                self.tasks[t].vc[t] += 1;
+                true
+            }
+            Op::EventWait(e) => {
+                let q = self.events.entry(e.0).or_default();
+                match q.pop_front() {
+                    Some(post_vc) => {
+                        vc_join(&mut self.tasks[t].vc, &post_vc);
+                        true
+                    }
+                    None => {
+                        self.tasks[t].blocked = Some(Blocked::Event(e.0));
+                        false
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validates the access's declared space against the layout. Returns
+    /// whether the access is a well-formed shared access (and thus subject
+    /// to race detection).
+    fn check_space(&mut self, t: usize, inst: InstanceId, addr: Addr, space: Space, idx: u64) -> bool {
+        check_space_common(
+            self.layout,
+            t,
+            inst,
+            addr,
+            space,
+            idx,
+            &mut self.seen,
+            &mut self.diags,
+        )
+    }
+
+    fn on_read(&mut self, t: usize, addr: Addr, idx: u64) {
+        let n = self.tasks.len();
+        let vc = self.tasks[t].vc.clone();
+        let conflict = {
+            let cell = self.cells.entry(addr.0).or_insert_with(|| Cell {
+                write: None,
+                reads: vec![(0, 0); n],
+            });
+            let w = cell.write.filter(|&(wt, wc, _)| wt != t && wc > vc[wt]);
+            cell.reads[t] = (vc[t], idx);
+            w
+        };
+        if let Some((wt, _, wop)) = conflict {
+            self.report_race(addr, wt, wop, "store", t, idx, "load");
+        }
+    }
+
+    fn on_write(&mut self, t: usize, addr: Addr, idx: u64) {
+        let n = self.tasks.len();
+        let vc = self.tasks[t].vc.clone();
+        let (write_conflict, read_conflicts) = {
+            let cell = self.cells.entry(addr.0).or_insert_with(|| Cell {
+                write: None,
+                reads: vec![(0, 0); n],
+            });
+            let w = cell.write.filter(|&(wt, wc, _)| wt != t && wc > vc[wt]);
+            let reads: Vec<(usize, u64)> = cell
+                .reads
+                .iter()
+                .enumerate()
+                .filter(|&(u, &(c, _))| u != t && c > vc[u])
+                .map(|(u, &(_, op))| (u, op))
+                .collect();
+            cell.write = Some((t, vc[t], idx));
+            (w, reads)
+        };
+        if let Some((wt, _, wop)) = write_conflict {
+            self.report_race(addr, wt, wop, "store", t, idx, "store");
+        }
+        for (u, uop) in read_conflicts {
+            self.report_race(addr, u, uop, "load", t, idx, "store");
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report_race(
+        &mut self,
+        addr: Addr,
+        t1: usize,
+        op1: u64,
+        kind1: &str,
+        t2: usize,
+        op2: u64,
+        kind2: &str,
+    ) {
+        if self.raced.insert(addr.0, ()).is_some() {
+            return;
+        }
+        if self.raced.len() > MAX_RACE_REPORTS {
+            self.suppressed_races += 1;
+            return;
+        }
+        let region = self
+            .layout
+            .region_of(addr)
+            .map(|r| format!(" in region `{}`", r.name))
+            .unwrap_or_default();
+        self.diags.push(
+            Diagnostic::error(
+                Rule::SharedRace,
+                format!(
+                    "unordered shared accesses{region}: task {t1} {kind1} (op {op1}) \
+                     vs task {t2} {kind2} (op {op2})"
+                ),
+            )
+            .at_task(t2)
+            .at_op(op2)
+            .at_addr(addr.0),
+        );
+    }
+
+    /// No runnable task and not everyone finished: classify each blocked
+    /// task.
+    fn report_stall(&mut self) {
+        for t in 0..self.tasks.len() {
+            if self.tasks[t].finished {
+                continue;
+            }
+            let idx = self.tasks[t].cur.map(|(_, i)| i);
+            let mut d = match self.tasks[t].blocked {
+                Some(Blocked::Barrier(b)) => {
+                    let absent: Vec<usize> = (0..self.tasks.len())
+                        .filter(|&u| {
+                            !matches!(self.tasks[u].blocked, Some(Blocked::Barrier(x)) if x == b)
+                        })
+                        .collect();
+                    Diagnostic::error(
+                        Rule::BarrierMismatch,
+                        format!(
+                            "task stuck at barrier {b}: tasks {absent:?} never arrive \
+                             (barrier participation differs between tasks)"
+                        ),
+                    )
+                }
+                Some(Blocked::Lock(l)) => {
+                    let holder = self.locks.get(&l).and_then(|s| s.holder);
+                    Diagnostic::error(
+                        Rule::SyncDeadlock,
+                        match holder {
+                            Some(h) if h == t => {
+                                format!("task blocked acquiring lock {l} it already holds")
+                            }
+                            Some(h) => format!(
+                                "task blocked on lock {l} held by task {h}, which never releases it"
+                            ),
+                            None => format!("task blocked on lock {l} (no holder; scheduler stall)"),
+                        },
+                    )
+                }
+                Some(Blocked::Event(e)) => Diagnostic::error(
+                    Rule::UnbalancedEvents,
+                    format!("event-wait on event {e} with no matching post"),
+                ),
+                None => Diagnostic::error(
+                    Rule::SyncDeadlock,
+                    "task unfinished but not blocked (scheduler stall)".to_string(),
+                ),
+            };
+            d = d.at_task(t);
+            if let Some(i) = idx {
+                d = d.at_op(i);
+            }
+            self.diags.push(d);
+        }
+    }
+
+    /// End-of-run checks that only make sense once execution stops.
+    fn finish(&mut self) {
+        if self.suppressed_races > 0 {
+            self.diags.push(Diagnostic::error(
+                Rule::SharedRace,
+                format!(
+                    "{} additional racy addresses suppressed (cap {MAX_RACE_REPORTS})",
+                    self.suppressed_races
+                ),
+            ));
+        }
+        let mut leftover: Vec<(u32, usize)> = self
+            .events
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&e, q)| (e, q.len()))
+            .collect();
+        leftover.sort_unstable();
+        for (e, n) in leftover {
+            self.diags.push(Diagnostic::warning(
+                Rule::UnbalancedEvents,
+                format!("{n} post(s) to event {e} never consumed by a wait"),
+            ));
+        }
+    }
+}
+
+/// Validates one access's declared space against the layout (shared logic
+/// for the scheduler and the A-stream walk). Returns whether the access is
+/// a well-formed shared access.
+#[allow(clippy::too_many_arguments)]
+fn check_space_common(
+    layout: &Layout,
+    t: usize,
+    inst: InstanceId,
+    addr: Addr,
+    space: Space,
+    idx: u64,
+    seen: &mut FxHashMap<(u8, usize, u64), ()>,
+    diags: &mut Vec<Diagnostic>,
+) -> bool {
+    let region = layout.region_of(addr);
+    let mut once = |tag: u8, key: u64, d: Diagnostic| {
+        if seen.insert((tag, t, key), ()).is_none() {
+            diags.push(d);
+        }
+    };
+    match (space, region) {
+        (Space::Shared, Some(r)) => match r.kind {
+            RegionKind::Shared | RegionKind::SharedOwned(_) => true,
+            RegionKind::Private(owner) if owner == inst => {
+                once(
+                    0,
+                    r.base.0,
+                    Diagnostic::error(
+                        Rule::SpaceMismatch,
+                        format!("access declared Shared hits own private region `{}`", r.name),
+                    )
+                    .at_task(t)
+                    .at_op(idx)
+                    .at_addr(addr.0),
+                );
+                false
+            }
+            RegionKind::Private(owner) => {
+                once(
+                    1,
+                    r.base.0,
+                    Diagnostic::error(
+                        Rule::PrivateIsolation,
+                        format!(
+                            "access declared Shared hits region `{}` private to instance {}",
+                            r.name, owner.0
+                        ),
+                    )
+                    .at_task(t)
+                    .at_op(idx)
+                    .at_addr(addr.0),
+                );
+                false
+            }
+        },
+        (Space::Private, Some(r)) => {
+            match r.kind {
+                RegionKind::Private(owner) if owner == inst => {}
+                RegionKind::Private(owner) => once(
+                    2,
+                    r.base.0,
+                    Diagnostic::error(
+                        Rule::PrivateIsolation,
+                        format!(
+                            "private access to region `{}` owned by instance {} \
+                             (this stream is instance {})",
+                            r.name, owner.0, inst.0
+                        ),
+                    )
+                    .at_task(t)
+                    .at_op(idx)
+                    .at_addr(addr.0),
+                ),
+                RegionKind::Shared | RegionKind::SharedOwned(_) => once(
+                    3,
+                    r.base.0,
+                    Diagnostic::error(
+                        Rule::SpaceMismatch,
+                        format!("access declared Private hits shared region `{}`", r.name),
+                    )
+                    .at_task(t)
+                    .at_op(idx)
+                    .at_addr(addr.0),
+                ),
+            }
+            false
+        }
+        (_, None) => {
+            once(
+                4,
+                addr.0,
+                Diagnostic::error(
+                    Rule::UnmappedAddress,
+                    "access to an address outside every layout region".to_string(),
+                )
+                .at_task(t)
+                .at_op(idx)
+                .at_addr(addr.0),
+            );
+            false
+        }
+    }
+}
+
+/// Checks the layout itself: regions must be pairwise disjoint.
+pub fn verify_layout(layout: &Layout) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut regions: Vec<_> = layout.regions().iter().collect();
+    regions.sort_by_key(|r| r.base.0);
+    for w in regions.windows(2) {
+        if w[1].base < w[0].end() {
+            diags.push(
+                Diagnostic::error(
+                    Rule::LayoutOverlap,
+                    format!(
+                        "regions `{}` [{:#x}..{:#x}) and `{}` [{:#x}..{:#x}) overlap",
+                        w[0].name,
+                        w[0].base.0,
+                        w[0].end().0,
+                        w[1].name,
+                        w[1].base.0,
+                        w[1].end().0
+                    ),
+                )
+                .at_addr(w[1].base.0),
+            );
+        }
+    }
+    diags
+}
+
+/// Verifies a task set: layout consistency, space discipline, sync
+/// discipline, and happens-before data-race freedom on shared data.
+pub fn verify_tasks(layout: &Layout, tasks: &[TaskProgram]) -> Vec<Diagnostic> {
+    let mut diags = verify_layout(layout);
+    if !tasks.is_empty() {
+        diags.extend(Verifier::new(layout, tasks).run());
+    }
+    diags
+}
+
+/// The elements of a program that must be identical between a task's
+/// R-stream and A-stream instances: shared accesses, synchronization, and
+/// `Input` ops. Private accesses and compute are excluded by design (the
+/// A-stream owns distinct private regions and is a *reduced* copy).
+#[derive(PartialEq, Eq, Debug)]
+enum SkelItem {
+    SharedLoad(u64),
+    SharedStore(u64),
+    Barrier(u32),
+    Lock(u32),
+    Unlock(u32),
+    Post(u32),
+    Wait(u32),
+    Input,
+}
+
+fn skel_of(op: &Op) -> Option<SkelItem> {
+    match *op {
+        Op::Load { addr, space: Space::Shared } => Some(SkelItem::SharedLoad(addr.0)),
+        Op::Store { addr, space: Space::Shared } => Some(SkelItem::SharedStore(addr.0)),
+        Op::Barrier(b) => Some(SkelItem::Barrier(b.0)),
+        Op::Lock(l) => Some(SkelItem::Lock(l.0)),
+        Op::Unlock(l) => Some(SkelItem::Unlock(l.0)),
+        Op::EventPost(e) => Some(SkelItem::Post(e.0)),
+        Op::EventWait(e) => Some(SkelItem::Wait(e.0)),
+        Op::Input => Some(SkelItem::Input),
+        Op::Load { .. } | Op::Store { .. } | Op::Compute(_) | Op::DivergeInA(_) => None,
+    }
+}
+
+/// Verifies a slipstream A-instance against its R-instance: the A program's
+/// private accesses must stay inside the A instance's own regions, and its
+/// shared-access + synchronization skeleton must be identical to the R
+/// program's (shared addresses may depend on the task, never the
+/// instance — the contract in [`slipstream_core::TaskBuilderFn`]).
+pub fn verify_pair(layout: &Layout, r: &TaskProgram, a: &TaskProgram) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut seen = FxHashMap::default();
+
+    // Walk A fully (space checks for every access), collecting its skeleton
+    // lazily; walk R for its skeleton only (R was already space-checked by
+    // the scheduler pass).
+    let mut a_iter = a.prog.iter();
+    let mut a_idx = 0u64;
+    let mut next_a = |seen: &mut FxHashMap<(u8, usize, u64), ()>,
+                      diags: &mut Vec<Diagnostic>|
+     -> Option<(SkelItem, u64)> {
+        for op in a_iter.by_ref() {
+            let idx = a_idx;
+            a_idx += 1;
+            if let Op::Load { addr, space } | Op::Store { addr, space } = op {
+                check_space_common(layout, a.task, a.inst, addr, space, idx, seen, diags);
+            }
+            if let Some(item) = skel_of(&op) {
+                return Some((item, idx));
+            }
+        }
+        None
+    };
+    let mut r_skel = r.prog.iter().filter_map(|op| skel_of(&op));
+
+    loop {
+        let a_item = next_a(&mut seen, &mut diags);
+        let r_item = r_skel.next();
+        match (a_item, r_item) {
+            (None, None) => break,
+            (Some((ai, idx)), Some(ri)) => {
+                if ai != ri {
+                    diags.push(
+                        Diagnostic::error(
+                            Rule::InstanceDivergence,
+                            format!(
+                                "A-stream instance {} diverges from R-stream instance {}: \
+                                 A has {ai:?} where R has {ri:?}",
+                                a.inst.0, r.inst.0
+                            ),
+                        )
+                        .at_task(a.task)
+                        .at_op(idx),
+                    );
+                    break;
+                }
+            }
+            (Some((ai, idx)), None) => {
+                diags.push(
+                    Diagnostic::error(
+                        Rule::InstanceDivergence,
+                        format!(
+                            "A-stream instance {} has extra {ai:?} past the end of \
+                             R-stream instance {}'s skeleton",
+                            a.inst.0, r.inst.0
+                        ),
+                    )
+                    .at_task(a.task)
+                    .at_op(idx),
+                );
+                break;
+            }
+            (None, Some(ri)) => {
+                diags.push(
+                    Diagnostic::error(
+                        Rule::InstanceDivergence,
+                        format!(
+                            "A-stream instance {} is missing {ri:?} present in \
+                             R-stream instance {}",
+                            a.inst.0, r.inst.0
+                        ),
+                    )
+                    .at_task(a.task),
+                );
+                break;
+            }
+        }
+    }
+    diags
+}

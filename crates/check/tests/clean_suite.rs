@@ -1,0 +1,45 @@
+//! The benchmark suite must lint clean: the paper's A-stream safety
+//! argument (§3.2) assumes properly synchronized programs, so every
+//! workload's generated task set — conventional and slipstream — has to
+//! pass the static verifier with zero error diagnostics.
+
+use slipstream_check::{verify_workload, Severity};
+use slipstream_workloads::quick_suite;
+
+fn assert_clean(ntasks: usize, slipstream: bool) {
+    for w in quick_suite() {
+        let diags = verify_workload(w.as_ref(), ntasks, slipstream);
+        let errors: Vec<String> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| d.to_string())
+            .collect();
+        assert!(
+            errors.is_empty(),
+            "{} [ntasks={ntasks}, slipstream={slipstream}] has {} error(s):\n{}",
+            w.name(),
+            errors.len(),
+            errors.join("\n")
+        );
+    }
+}
+
+#[test]
+fn quick_suite_conventional_two_tasks() {
+    assert_clean(2, false);
+}
+
+#[test]
+fn quick_suite_conventional_four_tasks() {
+    assert_clean(4, false);
+}
+
+#[test]
+fn quick_suite_slipstream_two_tasks() {
+    assert_clean(2, true);
+}
+
+#[test]
+fn quick_suite_slipstream_four_tasks() {
+    assert_clean(4, true);
+}

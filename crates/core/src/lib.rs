@@ -61,7 +61,7 @@ mod workload;
 
 pub use machine::Machine;
 pub use report::{RunResult, StreamReport, TimeBreakdown};
-pub use runner::{run, run_sequential, run_traced, RunSpec};
+pub use runner::{run, run_sequential, run_traced, run_with_tracer, RunSpec};
 pub use stream::{BlockKind, StreamState};
 pub use trace::{
     run_result_json, AccessCounts, IntervalSample, LineCounters, TraceConfig, TraceData,

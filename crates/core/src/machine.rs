@@ -3,7 +3,8 @@ use std::rc::Rc;
 use slipstream_kernel::config::{ArSyncMode, ExecMode, MachineConfig, SlipstreamConfig};
 use slipstream_kernel::{Cycle, EventQueue, TaskId};
 use slipstream_mem::{
-    Access, AccessKind, Completion, MemEvent, MemSched, MemSystem, StreamRole, SyncOp,
+    Access, AccessKind, Completion, FanoutTracer, MemEvent, MemSched, MemSystem, MemTracer,
+    StreamRole, SyncOp,
 };
 use slipstream_prog::{Op, ProgramIter, Space};
 
@@ -97,14 +98,22 @@ impl Machine {
         tasks: usize,
         trace_cfg: TraceConfig,
         fastpath: bool,
+        extra_tracer: Option<Box<dyn MemTracer>>,
     ) -> Machine {
+        let mut recorder: Option<Box<dyn MemTracer>> = None;
         let trace = if trace_cfg.enabled() {
-            let (state, recorder) = TraceState::new(trace_cfg);
-            mem.set_tracer(Box::new(recorder));
+            let (state, rec) = TraceState::new(trace_cfg);
+            recorder = Some(Box::new(rec));
             Some(state)
         } else {
             None
         };
+        match (recorder, extra_tracer) {
+            (Some(r), Some(e)) => mem.set_tracer(Box::new(FanoutTracer::new(vec![r, e]))),
+            (Some(r), None) => mem.set_tracer(r),
+            (None, Some(e)) => mem.set_tracer(e),
+            (None, None) => {}
+        }
         let mut cpu_map = vec![None; cfg.nodes as usize * 2];
         for (i, s) in streams.iter().enumerate() {
             let slot = s.cpu.flat(2);

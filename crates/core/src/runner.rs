@@ -99,6 +99,28 @@ pub fn run(workload: &dyn Workload, spec: &RunSpec) -> RunResult {
 /// `spec.trace` enables any collection (`None` otherwise). The
 /// [`RunResult`] is bit-identical either way: tracing only observes.
 pub fn run_traced(workload: &dyn Workload, spec: &RunSpec) -> (RunResult, Option<TraceData>) {
+    run_inner(workload, spec, None)
+}
+
+/// Like [`run`], but installs `tracer` as an additional [`MemTracer`] for
+/// the duration of the run (fanned out with the trace recorder when
+/// `spec.trace` is also enabled). Tracers observe only, so the
+/// [`RunResult`] is bit-identical to an untraced run; the caller keeps
+/// whatever shared handle its tracer exposes (e.g. an `Rc` into collected
+/// state) and inspects it after the run returns.
+pub fn run_with_tracer(
+    workload: &dyn Workload,
+    spec: &RunSpec,
+    tracer: Box<dyn slipstream_mem::MemTracer>,
+) -> RunResult {
+    run_inner(workload, spec, Some(tracer)).0
+}
+
+fn run_inner(
+    workload: &dyn Workload,
+    spec: &RunSpec,
+    extra_tracer: Option<Box<dyn slipstream_mem::MemTracer>>,
+) -> (RunResult, Option<TraceData>) {
     let mut cfg = spec.machine.clone().unwrap_or_else(|| {
         if workload.small_l2() {
             MachineConfig::water(spec.nodes)
@@ -199,6 +221,7 @@ pub fn run_traced(workload: &dyn Workload, spec: &RunSpec) -> (RunResult, Option
         ntasks,
         spec.trace,
         spec.fastpath,
+        extra_tracer,
     )
     .run_traced()
 }

@@ -47,4 +47,4 @@ pub use home::HomeMap;
 pub use msg::{AccessKind, Completion, MemEvent, StreamRole, SyncOp, Token};
 pub use stats::MemStats;
 pub use system::{Access, MemSched, MemSystem};
-pub use trace::{AccessOutcome, MemTracer, TracePerm};
+pub use trace::{AccessOutcome, FanoutTracer, MemTracer, TracePerm};

@@ -406,6 +406,11 @@ impl MemSystem {
         }
         let outcome = if merged { AccessOutcome::MissMerged } else { AccessOutcome::MissNew };
         self.trace_access(now, cpu, role, kind, line, outcome);
+        if !merged {
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.mshr_alloc(now, node_id, line);
+            }
+        }
         if let Some(kind) = launch {
             self.issue_txn(now, node_id, line, kind, sched);
         }
@@ -509,6 +514,11 @@ impl MemSystem {
         }
         let outcome = if merged { AccessOutcome::MissMerged } else { AccessOutcome::MissNew };
         self.trace_access(now, cpu, role, AccessKind::Write, line, outcome);
+        if !merged {
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.mshr_alloc(now, node_id, line);
+            }
+        }
         if let Some(kind) = launch {
             self.issue_txn(now, node_id, line, kind, sched);
         }
@@ -567,6 +577,9 @@ impl MemSystem {
             line,
             AccessOutcome::PrefetchIssued,
         );
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.mshr_alloc(now, node_id, line);
+        }
         self.issue_txn(
             now,
             node_id,
@@ -1220,7 +1233,7 @@ impl MemSystem {
                 self.owner_fwd_excl(now, node, line, requester, sched);
             }
             MsgKind::Inv { line, .. } => {
-                self.invalidate_line(node, line);
+                self.invalidate_line(now, node, line);
                 let home = self.home.home_of_line(line, self.line_bytes);
                 let ack = Msg { src: node, dst: home, kind: MsgKind::InvAck { line, from: node } };
                 self.send_from_l2(now, ack, sched);
@@ -1386,6 +1399,9 @@ impl MemSystem {
             self.nodes[n].l2.mshrs.insert(line, mshr);
         } else {
             debug_assert!(mshr.store_waiters.is_empty(), "store waiters dropped at fill");
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.mshr_free(now, node, line);
+            }
         }
     }
 
@@ -1437,6 +1453,9 @@ impl MemSystem {
                 mshr.waiters.is_empty() && mshr.store_waiters.is_empty(),
                 "coherent waiters dropped at transparent fill"
             );
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.mshr_free(now, node, line);
+            }
         }
     }
 
@@ -1466,15 +1485,19 @@ impl MemSystem {
             self.stats.class.close(false, op);
         }
         let home = self.home.home_of_line(entry.line, self.line_bytes);
-        let kind = if !entry.transparent && entry.dirty && entry.state == L2State::Exclusive {
+        let dirty_wb = !entry.transparent && entry.dirty && entry.state == L2State::Exclusive;
+        let kind = if dirty_wb {
             MsgKind::WritebackDirty { line: entry.line, from: node }
         } else {
             MsgKind::ReplHint { line: entry.line, from: node }
         };
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.l2_evict(now, node, entry.line, dirty_wb, entry.transparent);
+        }
         self.send_from_l2(now, Msg { src: node, dst: home, kind }, sched);
     }
 
-    fn invalidate_line(&mut self, node: NodeId, line: LineAddr) {
+    fn invalidate_line(&mut self, now: Cycle, node: NodeId, line: LineAddr) {
         let n = node.idx();
         if let Some(mut entry) = self.nodes[n].l2.remove(line) {
             for core in 0..2usize {
@@ -1487,6 +1510,9 @@ impl MemSystem {
             }
             if let Some(op) = entry.open_excl.take() {
                 self.stats.class.close(false, op);
+            }
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.l2_invalidate(now, node, line);
             }
         }
     }
@@ -1517,6 +1543,9 @@ impl MemSystem {
             }
         };
         if have {
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.l2_downgrade(now, node, line);
+            }
             let data = Msg {
                 src: node,
                 dst: requester,
@@ -1543,7 +1572,7 @@ impl MemSystem {
         let home = self.home.home_of_line(line, self.line_bytes);
         let have = self.nodes[node.idx()].l2.get(line).is_some();
         if have {
-            self.invalidate_line(node, line);
+            self.invalidate_line(now, node, line);
             let data = Msg {
                 src: node,
                 dst: requester,
@@ -1592,7 +1621,7 @@ impl MemSystem {
         if wrote_in_cs {
             // Migratory: invalidate (and write back if dirty).
             let dirty = self.nodes[n].l2.get(line).map(|e| e.dirty).unwrap_or(false);
-            self.invalidate_line(node, line);
+            self.invalidate_line(now, node, line);
             let kind = if dirty {
                 MsgKind::WritebackDirty { line, from: node }
             } else {
@@ -1615,6 +1644,9 @@ impl MemSystem {
                     entry.dirty = false;
                     entry.si_flag = false;
                 }
+            }
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.l2_downgrade(now, node, line);
             }
             let kind = MsgKind::DowngradeWb { line, from: node };
             self.send_from_l2(now, Msg { src: node, dst: home, kind }, sched);

@@ -116,6 +116,79 @@ pub trait MemTracer: std::fmt::Debug {
     /// The sync controller handled `op` from `cpu`, releasing `granted`
     /// blocked processors (0 = the requester queued or nothing released).
     fn sync_event(&mut self, now: Cycle, cpu: CpuId, op: SyncOp, granted: u32) {}
+
+    /// `node`'s L2 evicted `line` to make room for a fill. `dirty` is true
+    /// when the eviction produced a dirty writeback (vs. a replacement
+    /// hint); `transparent` marks an evicted transparent copy, which was
+    /// never registered in the directory's sharing list.
+    fn l2_evict(&mut self, now: Cycle, node: NodeId, line: LineAddr, dirty: bool, transparent: bool) {
+    }
+
+    /// `node`'s L2 dropped its copy of `line` in response to the protocol
+    /// (an invalidation, an ownership-transfer intervention, or a migratory
+    /// self-invalidation). Fires only when a copy was actually resident.
+    fn l2_invalidate(&mut self, now: Cycle, node: NodeId, line: LineAddr) {}
+
+    /// `node`'s L2 downgraded its exclusive copy of `line` to shared (a
+    /// read intervention, or a producer-consumer self-invalidation
+    /// writeback).
+    fn l2_downgrade(&mut self, now: Cycle, node: NodeId, line: LineAddr) {}
+
+    /// `node` opened a new MSHR for `line` (a fresh outstanding
+    /// transaction; merged requests reuse the existing MSHR and do not
+    /// fire this hook).
+    fn mshr_alloc(&mut self, now: Cycle, node: NodeId, line: LineAddr) {}
+
+    /// `node` retired the MSHR for `line`: every outstanding request the
+    /// MSHR tracked has been filled. Balanced against [`Self::mshr_alloc`]
+    /// (a fill that leaves a reply pending keeps the MSHR and fires
+    /// neither hook).
+    fn mshr_free(&mut self, now: Cycle, node: NodeId, line: LineAddr) {}
+}
+
+/// Fans every hook out to a list of tracers, in order. Lets an
+/// observability recorder and an invariant checker observe the same run.
+#[derive(Debug, Default)]
+pub struct FanoutTracer {
+    tracers: Vec<Box<dyn MemTracer>>,
+}
+
+impl FanoutTracer {
+    /// A fanout over `tracers` (called in the given order at every hook).
+    pub fn new(tracers: Vec<Box<dyn MemTracer>>) -> FanoutTracer {
+        FanoutTracer { tracers }
+    }
+}
+
+macro_rules! fanout {
+    ($($name:ident($($arg:ident: $ty:ty),*);)*) => {
+        impl MemTracer for FanoutTracer {
+            $(fn $name(&mut self, $($arg: $ty),*) {
+                for t in &mut self.tracers {
+                    t.$name($($arg),*);
+                }
+            })*
+        }
+    };
+}
+
+fanout! {
+    access(now: Cycle, cpu: CpuId, role: StreamRole, kind: AccessKind, line: LineAddr, outcome: AccessOutcome);
+    fill(now: Cycle, node: NodeId, line: LineAddr, excl: bool, transparent: bool);
+    dir_transition(now: Cycle, line: LineAddr, from: TracePerm, to: TracePerm, requester: NodeId);
+    intervention(now: Cycle, line: LineAddr, owner: NodeId, requester: NodeId, excl: bool);
+    invalidation(now: Cycle, line: LineAddr, target: NodeId);
+    si_hint(now: Cycle, line: LineAddr, owner: NodeId);
+    si_action(now: Cycle, node: NodeId, line: LineAddr, invalidated: bool);
+    transparent_upgrade(now: Cycle, line: LineAddr, from: NodeId);
+    transparent_reply(now: Cycle, line: LineAddr, from: NodeId);
+    writeback(now: Cycle, line: LineAddr, from: NodeId);
+    sync_event(now: Cycle, cpu: CpuId, op: SyncOp, granted: u32);
+    l2_evict(now: Cycle, node: NodeId, line: LineAddr, dirty: bool, transparent: bool);
+    l2_invalidate(now: Cycle, node: NodeId, line: LineAddr);
+    l2_downgrade(now: Cycle, node: NodeId, line: LineAddr);
+    mshr_alloc(now: Cycle, node: NodeId, line: LineAddr);
+    mshr_free(now: Cycle, node: NodeId, line: LineAddr);
 }
 
 #[cfg(test)]
@@ -152,6 +225,23 @@ mod tests {
             NodeId(1),
         );
         t.fill(Cycle(2), NodeId(0), LineAddr(3), true, false);
+        t.l2_evict(Cycle(3), NodeId(0), LineAddr(3), true, false);
+        t.l2_invalidate(Cycle(3), NodeId(0), LineAddr(3));
+        t.l2_downgrade(Cycle(3), NodeId(0), LineAddr(3));
+        t.mshr_alloc(Cycle(3), NodeId(0), LineAddr(3));
+        t.mshr_free(Cycle(3), NodeId(0), LineAddr(3));
         assert_eq!(t.0, 1);
+    }
+
+    #[test]
+    fn fanout_forwards_to_every_tracer_in_order() {
+        let mut f = FanoutTracer::new(vec![
+            Box::new(OnlyFills::default()),
+            Box::new(OnlyFills::default()),
+        ]);
+        f.fill(Cycle(2), NodeId(0), LineAddr(3), true, false);
+        f.mshr_free(Cycle(3), NodeId(0), LineAddr(3));
+        let counts: Vec<String> = f.tracers.iter().map(|t| format!("{t:?}")).collect();
+        assert_eq!(counts, ["OnlyFills(1)", "OnlyFills(1)"]);
     }
 }

@@ -75,6 +75,12 @@ impl GridBlocks {
     }
 
     /// Emits one 5-point stencil sweep over task `t`'s rows.
+    ///
+    /// Jacobi-style: every task reads the old values (its own rows plus the
+    /// block-boundary rows of its neighbours), then a barrier retires all
+    /// reads before anyone stores the new values. Ocean proper gets the
+    /// same ordering from distinct source/destination grids per sweep; at
+    /// row granularity the mid-sweep barrier is the equivalent discipline.
     fn sweep(&self, out: &mut Vec<slipstream_prog::Op>, t: usize, comp: u32) {
         let (my0, my1) = block_range(self.n, self.ntasks, t);
         for r in my0..my1 {
@@ -88,6 +94,10 @@ impl GridBlocks {
             }
             let (reg, off) = self.row(r);
             touch_shared(out, reg, off, self.row_bytes, false, comp);
+        }
+        out.push(Op::Barrier(BarrierId(0)));
+        for r in my0..my1 {
+            let (reg, off) = self.row(r);
             touch_shared(out, reg, off, self.row_bytes, true, 0);
         }
     }
@@ -199,8 +209,12 @@ mod tests {
         let build = w.instantiate(4, &mut layout);
         let prog = build(&mut layout, InstanceId(0), 0);
         let barriers = prog.iter().filter(|o| matches!(o, Op::Barrier(_))).count() as u64;
-        // grids + levels + (levels-1 restricts) + (levels-1)*(prolong+smooth)
-        let per_step = w.grids as u64 + w.levels as u64 + (w.levels as u64 - 1) * 3;
+        // Each sweep carries a mid-sweep (read/write split) barrier plus its
+        // end-of-phase barrier; sweeps happen once per working grid, once per
+        // down-cycle smooth, and once per up-cycle smooth. Restricts and
+        // prolongs add one barrier each.
+        let (g, l) = (w.grids as u64, w.levels as u64);
+        let per_step = 2 * g + 2 * l + 4 * (l - 1);
         assert_eq!(barriers, w.steps * per_step);
     }
 

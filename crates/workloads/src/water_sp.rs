@@ -116,7 +116,11 @@ impl Workload for WaterSp {
                 });
                 b.barrier(BarrierId(0));
                 // Inter-molecular forces: my boxes against their 27-box
-                // neighbourhoods.
+                // neighbourhoods. This phase only reads molecule state —
+                // partial forces accumulate in per-task private storage (the
+                // Splash-2 per-processor force arrays) and are applied to
+                // the boxes in the barrier-separated correction phase, so
+                // neighbour reads never race with owner updates.
                 let locate2 = locate.clone();
                 b.block(move |_ctx, out| {
                     let locate = &locate2;
@@ -130,7 +134,6 @@ impl Workload for WaterSp {
                             let pairs = (mpb * mpb / 2).max(1);
                             out.push(Op::Compute(pairs as u32 * cpp));
                         }
-                        touch_shared(out, reg, off, box_bytes, true, 0);
                     }
                 });
                 b.barrier(BarrierId(0));

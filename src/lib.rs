@@ -15,7 +15,10 @@
 //! * [`core`] — the slipstream runtime: execution modes, A-R
 //!   synchronization, A-stream reduction and recovery, and the machine
 //!   runner;
-//! * [`workloads`] — the paper's nine benchmarks (Table 2).
+//! * [`workloads`] — the paper's nine benchmarks (Table 2);
+//! * [`check`] — correctness tooling: the static happens-before verifier
+//!   for generated programs and the dynamic coherence-protocol invariant
+//!   checker (see `docs/static-analysis.md`).
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -39,6 +42,7 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! binaries that regenerate every figure of the paper.
 
+pub use slipstream_check as check;
 pub use slipstream_core as core;
 pub use slipstream_kernel as kernel;
 pub use slipstream_mem as mem;
