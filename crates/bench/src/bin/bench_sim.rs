@@ -6,14 +6,23 @@
 //! slowdowns across commits; simulated results (cycles, miss rates) are
 //! reported by the figure binaries and EXPERIMENTS.md.
 //!
-//! Usage: `bench_sim [--out PATH] [--iters N] [--compare BASELINE [--tolerance PCT]]`
+//! Usage: `bench_sim [--out PATH] [--iters N] [--threads K] [--scaling]
+//!                   [--compare BASELINE [--tolerance PCT]]`
 //!   --out PATH        output file (default: BENCH_sim.json; not written in
 //!                     compare mode unless given explicitly)
 //!   --iters N         timed iterations per run; minimum wall time is kept
 //!                     (default: 3)
+//!   --threads K       run the matrix on K intra-run workers (the
+//!                     conservative parallel engine; default 0 = serial)
+//!   --scaling         also measure the parallel-engine scaling matrix
+//!                     (events/sec vs worker count at 16/64/128 nodes) and
+//!                     record it under "scaling" in the JSON
 //!   --compare PATH    re-measure and compare events/sec against a baseline
 //!                     JSON written by this tool; exits nonzero if any run
-//!                     (or the total) regresses by more than the tolerance
+//!                     (or the total) regresses by more than the tolerance.
+//!                     Warns when the baseline was measured on a host with
+//!                     a different cpu count (cross-host numbers are
+//!                     informational, not a like-for-like gate)
 //!   --tolerance PCT   allowed events/sec regression in percent for
 //!                     `--compare` (default: 15)
 
@@ -43,7 +52,7 @@ struct Measured {
 /// mode (single, double, slipstream, slipstream+si), 4 nodes each, so a
 /// hot-path regression in any mode-specific machinery (pair bookkeeping,
 /// token protocol, self-invalidation sweeps) is visible in the baseline.
-fn cases() -> Vec<Case> {
+fn cases(threads: u16) -> Vec<Case> {
     let si = SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal);
     let modes: [(&'static str, &dyn Fn() -> RunSpec); 4] = [
         ("single", &|| RunSpec::new(4, ExecMode::Single)),
@@ -60,12 +69,61 @@ fn cases() -> Vec<Case> {
             out.push(Case {
                 name: format!("{tag}_quick_{}_4", mode.replace('+', "_")),
                 workload,
-                spec: mk_spec(),
+                spec: mk_spec().with_threads(threads),
                 mode,
             });
         }
     }
     out
+}
+
+/// One row of the parallel-engine scaling matrix.
+struct ScalingRow {
+    workload: String,
+    nodes: u16,
+    threads: u16,
+    wall_s: f64,
+    events: u64,
+}
+
+/// Measures the conservative parallel engine's throughput as the worker
+/// count grows, at CMP counts where partitioning has room to help. The
+/// workload (quick SOR, slipstream mode) is fixed so rows differ only in
+/// `nodes` × `threads`; `threads = 1` is the parallel engine on one
+/// worker, i.e. the engine's own baseline (its results are bit-identical
+/// for every worker count, so the rows time identical simulations).
+fn scaling_matrix(iters: u32) -> Vec<ScalingRow> {
+    let workload = quick_suite()
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case("SOR"))
+        .expect("quick suite has SOR");
+    let mut rows = Vec::new();
+    for nodes in [16u16, 64, 128] {
+        for threads in [1u16, 2, 4, 8] {
+            let spec = RunSpec::new(nodes, ExecMode::Slipstream).with_threads(threads);
+            let mut result: RunResult = run(workload.as_ref(), &spec);
+            let mut wall_s = f64::INFINITY;
+            for _ in 0..iters.max(1) {
+                let start = Instant::now();
+                result = run(workload.as_ref(), &spec);
+                wall_s = wall_s.min(start.elapsed().as_secs_f64());
+            }
+            eprintln!(
+                "  [scaling sor @{nodes:>3} CMPs x{threads} workers {:>9.3} ms  \
+                 {:>12.0} events/s]",
+                wall_s * 1e3,
+                events_per_sec(result.host_events, wall_s)
+            );
+            rows.push(ScalingRow {
+                workload: workload.name().to_string(),
+                nodes,
+                threads,
+                wall_s,
+                events: result.host_events,
+            });
+        }
+    }
+    rows
 }
 
 /// Run one case `iters` times (after an untimed warm-up) and keep the
@@ -98,21 +156,6 @@ fn events_per_sec(events: u64, wall_s: f64) -> f64 {
 /// baseline written by this tool. The schema is our own line-oriented
 /// output, so a string scan is all the parsing needed — no JSON dependency.
 fn parse_baseline(text: &str) -> (Vec<(String, f64)>, Option<f64>) {
-    fn str_field(line: &str, key: &str) -> Option<String> {
-        let pat = format!("\"{key}\": \"");
-        let start = line.find(&pat)? + pat.len();
-        let end = line[start..].find('"')? + start;
-        Some(line[start..end].to_string())
-    }
-    fn num_field(line: &str, key: &str) -> Option<f64> {
-        let pat = format!("\"{key}\": ");
-        let start = line.find(&pat)? + pat.len();
-        let rest = &line[start..];
-        let end = rest
-            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-            .unwrap_or(rest.len());
-        rest[..end].parse().ok()
-    }
     let mut runs = Vec::new();
     let mut total = None;
     for line in text.lines() {
@@ -127,16 +170,59 @@ fn parse_baseline(text: &str) -> (Vec<(String, f64)>, Option<f64>) {
     (runs, total)
 }
 
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The `host_cpus` the baseline was measured on, if recorded.
+fn baseline_host_cpus(text: &str) -> Option<usize> {
+    text.lines()
+        .find(|l| l.contains("\"host_cpus\""))
+        .and_then(|l| num_field(l, "host_cpus"))
+        .map(|n| n as usize)
+}
+
 /// Compares fresh measurements against a baseline. Returns the number of
 /// regressions beyond `tolerance_pct`; new runs absent from the baseline
 /// are reported but never fail the gate (the baseline just needs
 /// refreshing), while baseline runs that disappeared do fail it.
-fn compare(measured: &[Measured], baseline: &str, tolerance_pct: f64) -> usize {
+fn compare(measured: &[Measured], baseline: &str, tolerance_pct: f64, host_cpus: usize) -> usize {
     let (base_runs, base_total) = parse_baseline(baseline);
     if base_runs.is_empty() {
         eprintln!("baseline has no runs; was it written by bench_sim?");
         return 1;
     }
+    let cross_host = match baseline_host_cpus(baseline) {
+        Some(base_cpus) if base_cpus != host_cpus => {
+            eprintln!(
+                "  WARNING: baseline was measured on a {base_cpus}-cpu host, this host has \
+                 {host_cpus} cpus; treat deltas as informational, not a like-for-like gate"
+            );
+            true
+        }
+        None => {
+            eprintln!(
+                "  WARNING: baseline records no host_cpus; cannot confirm it came from a \
+                 comparable host"
+            );
+            true
+        }
+        _ => false,
+    };
+    let annot = if cross_host { " [cross-host]" } else { "" };
     let mut failures = 0;
     for (name, base_eps) in &base_runs {
         let Some(m) = measured.iter().find(|m| &m.name == name) else {
@@ -148,7 +234,7 @@ fn compare(measured: &[Measured], baseline: &str, tolerance_pct: f64) -> usize {
         let delta_pct = (eps / base_eps - 1.0) * 100.0;
         let ok = delta_pct >= -tolerance_pct;
         eprintln!(
-            "  {} {name:<32} {base_eps:>12.0} -> {eps:>12.0} events/s ({delta_pct:+6.1}%)",
+            "  {} {name:<32} {base_eps:>12.0} -> {eps:>12.0} events/s ({delta_pct:+6.1}%){annot}",
             if ok { "ok  " } else { "FAIL" },
         );
         if !ok {
@@ -167,7 +253,7 @@ fn compare(measured: &[Measured], baseline: &str, tolerance_pct: f64) -> usize {
         let delta_pct = (eps / base_eps - 1.0) * 100.0;
         let ok = delta_pct >= -tolerance_pct;
         eprintln!(
-            "  {} {:<32} {base_eps:>12.0} -> {eps:>12.0} events/s ({delta_pct:+6.1}%)",
+            "  {} {:<32} {base_eps:>12.0} -> {eps:>12.0} events/s ({delta_pct:+6.1}%){annot}",
             if ok { "ok  " } else { "FAIL" },
             "TOTAL",
         );
@@ -181,6 +267,8 @@ fn compare(measured: &[Measured], baseline: &str, tolerance_pct: f64) -> usize {
 fn main() {
     let mut out_path: Option<String> = None;
     let mut iters: u32 = 3;
+    let mut threads: u16 = 0;
+    let mut scaling = false;
     let mut compare_path: Option<String> = None;
     let mut tolerance_pct: f64 = 15.0;
     let mut args = std::env::args().skip(1);
@@ -194,6 +282,14 @@ fn main() {
                     .parse()
                     .expect("--iters needs an integer")
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs a worker count")
+                    .parse()
+                    .expect("--threads needs an integer")
+            }
+            "--scaling" => scaling = true,
             "--compare" => {
                 compare_path = Some(args.next().expect("--compare needs a baseline path"))
             }
@@ -207,7 +303,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: bench_sim [--out PATH] [--iters N] \
+                    "usage: bench_sim [--out PATH] [--iters N] [--threads K] [--scaling] \
                      [--compare BASELINE [--tolerance PCT]]"
                 );
                 std::process::exit(2);
@@ -215,7 +311,7 @@ fn main() {
         }
     }
 
-    let measured: Vec<Measured> = cases()
+    let measured: Vec<Measured> = cases(threads)
         .iter()
         .map(|c| {
             let m = measure(c, iters);
@@ -239,7 +335,13 @@ fn main() {
         let baseline = std::fs::read_to_string(baseline_path)
             .unwrap_or_else(|e| panic!("reading {baseline_path}: {e}"));
         eprintln!("comparing against {baseline_path} (tolerance {tolerance_pct}%):");
-        let failures = compare(&measured, &baseline, tolerance_pct);
+        if threads > 0 {
+            eprintln!(
+                "  note: measuring with --threads {threads}; a serial baseline's events/sec \
+                 are from a different engine configuration"
+            );
+        }
+        let failures = compare(&measured, &baseline, tolerance_pct, host_cpus);
         if failures > 0 {
             println!("{failures} run(s) regressed by more than {tolerance_pct}%");
             std::process::exit(1);
@@ -250,14 +352,17 @@ fn main() {
         }
     }
 
+    let scaling_rows = if scaling { scaling_matrix(iters) } else { Vec::new() };
+
     // Hand-written JSON: the schema is flat and fully under our control, so
     // no serialization dependency is warranted.
     let out_path = out_path.unwrap_or_else(|| String::from("BENCH_sim.json"));
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"slipstream-bench-sim/1\",\n");
+    json.push_str("  \"schema\": \"slipstream-bench-sim/2\",\n");
     json.push_str(&format!("  \"iters\": {iters},\n"));
     json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str("  \"runs\": [\n");
     for (i, m) in measured.iter().enumerate() {
         json.push_str(&format!(
@@ -273,6 +378,29 @@ fn main() {
             events_per_sec(m.events, m.wall_s),
             m.exec_cycles,
             if i + 1 < measured.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    // Scaling rows deliberately use "case" (not "name") as their label key:
+    // parse_baseline's line scanner only treats "name" + "events_per_sec"
+    // lines as comparable runs, so scaling rows never enter the regression
+    // gate (they measure host parallelism, not single-engine throughput).
+    json.push_str("  \"scaling\": [\n");
+    for (i, r) in scaling_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"scaling_{}_{}n_{}t\", \"workload\": \"{}\", \"nodes\": {}, \
+             \"sim_threads\": {}, \"wall_s\": {:.6}, \"events\": {}, \
+             \"events_per_sec\": {:.1}}}{}\n",
+            r.workload.to_ascii_lowercase(),
+            r.nodes,
+            r.threads,
+            r.workload,
+            r.nodes,
+            r.threads,
+            r.wall_s,
+            r.events,
+            events_per_sec(r.events, r.wall_s),
+            if i + 1 < scaling_rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");

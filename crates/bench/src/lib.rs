@@ -9,6 +9,9 @@
 //! * `--nodes N[,N...]` — override the CMP-count sweep;
 //! * `--jobs N` — worker threads for the simulation grid (defaults to the
 //!   host's available parallelism; results are identical for any value);
+//! * `--threads K` — worker threads *inside* each simulation (the
+//!   conservative parallel engine; results are bit-identical for any
+//!   `K >= 1`, `0` = classic serial loop);
 //! * `--check` — attach the coherence invariant checker
 //!   ([`slipstream_check::ProtocolChecker`]) to every run; a violation
 //!   fails the figure instead of rendering suspect numbers.
@@ -37,6 +40,9 @@ pub struct Cli {
     pub nodes: Option<Vec<u16>>,
     /// Worker threads for executing the simulation grid.
     pub jobs: Option<usize>,
+    /// Worker threads inside each simulation (`RunSpec::threads`); `0`
+    /// (default) is the serial event loop.
+    pub threads: u16,
     /// Run every simulation with the protocol invariant checker attached.
     pub check: bool,
 }
@@ -68,10 +74,14 @@ impl Cli {
                     let v = args.next().expect("--jobs needs a thread count");
                     cli.jobs = Some(v.parse().expect("--jobs takes an integer"));
                 }
+                "--threads" => {
+                    let v = args.next().expect("--threads needs a worker count");
+                    cli.threads = v.parse().expect("--threads takes an integer");
+                }
                 "--check" => cli.check = true,
                 other => panic!(
                     "unknown flag {other}; supported: --quick --bench NAME --nodes N,N --jobs N \
-                     --check"
+                     --threads K --check"
                 ),
             }
         }
@@ -110,6 +120,7 @@ impl Cli {
 pub struct Runner {
     cache: HashMap<RunKey, RunResult>,
     check: bool,
+    threads: u16,
 }
 
 impl Runner {
@@ -118,11 +129,25 @@ impl Runner {
         Runner::default()
     }
 
-    /// Creates a runner honouring the CLI's `--check` flag: every
-    /// simulation (prewarmed or on-demand) then runs with the protocol
-    /// invariant checker attached, and a violation aborts the figure.
+    /// Creates a runner honouring the CLI's `--check` flag (every
+    /// simulation, prewarmed or on-demand, then runs with the protocol
+    /// invariant checker attached, and a violation aborts the figure) and
+    /// its `--threads` flag (every simulation whose spec doesn't set its
+    /// own count runs on that many intra-run workers).
     pub fn for_cli(cli: &Cli) -> Runner {
-        Runner { cache: HashMap::new(), check: cli.check }
+        Runner { cache: HashMap::new(), check: cli.check, threads: cli.threads }
+    }
+
+    /// The spec as this runner will actually execute it: the runner-wide
+    /// intra-run thread count applied unless the spec sets its own. Both
+    /// [`Runner::prewarm`] and [`Runner::run`] key the cache on this, so
+    /// prewarmed cells are always hits for the reporting pass.
+    fn effective(&self, spec: &RunSpec) -> RunSpec {
+        let mut spec = spec.clone();
+        if spec.threads == 0 {
+            spec.threads = self.threads;
+        }
+        spec
     }
 
     /// Executes `plan` across `jobs` threads and absorbs every result into
@@ -130,6 +155,7 @@ impl Runner {
     /// cache hits, so the reporting pass stays strictly serial and ordered
     /// while the simulations use all cores.
     pub fn prewarm(&mut self, plan: &Plan<'_>, jobs: usize) {
+        let plan = plan.with_threads(self.threads);
         let results = plan.execute_opts(jobs, self.check);
         for (key, result) in plan.keys().zip(results) {
             self.cache.entry(key).or_insert(result);
@@ -138,12 +164,13 @@ impl Runner {
 
     /// Runs (or returns the cached result of) `workload` under `spec`.
     pub fn run(&mut self, workload: &dyn Workload, spec: &RunSpec) -> RunResult {
-        let key = RunKey::new(workload, spec);
+        let spec = self.effective(spec);
+        let key = RunKey::new(workload, &spec);
         if let Some(r) = self.cache.get(&key) {
             return r.clone();
         }
         let started = std::time::Instant::now();
-        let r = par::run_cell(workload, spec, self.check);
+        let r = par::run_cell(workload, &spec, self.check);
         eprintln!(
             "  [ran {} {} @{} CMPs in {:.1}s: {} cycles]",
             workload.name(),

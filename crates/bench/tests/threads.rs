@@ -1,0 +1,137 @@
+//! Differential tests for the conservative parallel engine
+//! (`RunSpec::threads`): the worker count is a pure scheduling knob, so
+//! every `K >= 1` must produce bit-identical results — the full
+//! [`RunResult`], the trace event stream, and the protocol checker's
+//! observations — over the whole quick suite in every execution mode.
+//!
+//! `threads = 0` (the classic serial loop) is deliberately *not* compared
+//! here: the two engines differ in host-side accounting and event
+//! interleaving, and each is separately pinned by its own determinism
+//! tests.
+
+use slipstream_core::{
+    run, run_traced, ArSyncMode, ExecMode, RunSpec, SlipstreamConfig, TraceConfig, Workload,
+};
+use slipstream_workloads::quick_suite;
+
+/// The four execution modes of the benchmark matrix, at `nodes` CMPs.
+fn mode_specs(nodes: u16) -> Vec<RunSpec> {
+    vec![
+        RunSpec::new(nodes, ExecMode::Single),
+        RunSpec::new(nodes, ExecMode::Double),
+        RunSpec::new(nodes, ExecMode::Slipstream)
+            .with_slip(SlipstreamConfig::prefetch_only(ArSyncMode::OneTokenGlobal)),
+        RunSpec::new(nodes, ExecMode::Slipstream)
+            .with_slip(SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal)),
+    ]
+}
+
+fn ctx(w: &dyn Workload, spec: &RunSpec, k: u16) -> String {
+    format!("{} {:?} @{} CMPs, threads {k}", w.name(), spec.mode, spec.nodes)
+}
+
+/// Full quick suite × all four modes: `threads ∈ {2, 3, 4}` reproduce the
+/// one-worker result bit for bit — cycles, memory statistics, per-stream
+/// breakdowns, recoveries, and the `host_events` counter.
+#[test]
+fn worker_count_is_result_invariant_over_quick_suite() {
+    let suite = quick_suite();
+    for w in &suite {
+        for spec in mode_specs(4) {
+            let one = run(w.as_ref(), &spec.clone().with_threads(1));
+            for k in [2u16, 3, 4] {
+                let many = run(w.as_ref(), &spec.clone().with_threads(k));
+                assert_eq!(one, many, "{} diverged from one worker", ctx(w.as_ref(), &spec, k));
+            }
+        }
+    }
+}
+
+/// With full tracing enabled, the merged event stream is also
+/// worker-count-invariant: records, access counters, hot-line rankings,
+/// interval samples, drop counts, and even the queue lifetime counters
+/// (summed over node queues, so deterministic per node).
+#[test]
+fn traced_runs_are_identical_across_worker_counts() {
+    let suite = quick_suite();
+    for w in suite.iter().take(3) {
+        for mode in [ExecMode::Single, ExecMode::Slipstream] {
+            let spec = RunSpec::new(4, mode).with_trace(TraceConfig::full(10_000));
+            let (r1, t1) = run_traced(w.as_ref(), &spec.clone().with_threads(1));
+            let t1 = t1.expect("traced");
+            for k in [2u16, 4] {
+                let (rk, tk) = run_traced(w.as_ref(), &spec.clone().with_threads(k));
+                let tk = tk.expect("traced");
+                let c = ctx(w.as_ref(), &spec, k);
+                assert_eq!(r1, rk, "{c} RunResult");
+                assert_eq!(t1.records, tk.records, "{c} records");
+                assert_eq!(t1.counts, tk.counts, "{c} counts");
+                assert_eq!(t1.hot, tk.hot, "{c} hot lines");
+                assert_eq!(t1.samples, tk.samples, "{c} samples");
+                assert_eq!(t1.dropped, tk.dropped, "{c} dropped");
+                assert_eq!(t1.end_cycle, tk.end_cycle, "{c} end cycle");
+                assert_eq!(t1.queue_total_pushed, tk.queue_total_pushed, "{c} queue pushes");
+                assert_eq!(t1.queue_high_water, tk.queue_high_water, "{c} queue high water");
+            }
+        }
+    }
+}
+
+/// Epoch-boundary stress: shrinking the window to the minimum legal
+/// lookahead (one cycle — the maximum possible number of barriers) and to
+/// an odd in-between value cannot change any result. This exercises every
+/// cross-epoch hand-off path: events landing exactly on a boundary,
+/// streams suspended across barriers, and inbox deliveries racing local
+/// work.
+#[test]
+fn epoch_window_is_result_invariant() {
+    let suite = quick_suite();
+    for w in suite.iter().take(4) {
+        for spec in mode_specs(4) {
+            let full = run(w.as_ref(), &spec.clone().with_threads(2));
+            for window in [1u64, 7] {
+                for k in [2u16, 3] {
+                    let tight =
+                        run(w.as_ref(), &spec.clone().with_threads(k).with_epoch_window(window));
+                    assert_eq!(
+                        full,
+                        tight,
+                        "{} window {window} diverged",
+                        ctx(w.as_ref(), &spec, k)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The protocol checker observes the merged deterministic event order, so
+/// a checked run reports the same (clean) verdict and the same result on
+/// any worker count. Uses the canonical checked configurations (the ones
+/// the serial differential suite pins): prefetch-only at 4 CMPs and
+/// self-invalidation at 2 CMPs.
+#[test]
+fn checker_verdict_is_worker_count_invariant() {
+    let suite = quick_suite();
+    let specs = vec![
+        RunSpec::new(4, ExecMode::Slipstream)
+            .with_slip(SlipstreamConfig::prefetch_only(ArSyncMode::OneTokenGlobal)),
+        RunSpec::new(2, ExecMode::Slipstream)
+            .with_slip(SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal)),
+    ];
+    for w in suite.iter().take(3) {
+        for spec in &specs {
+            let (r1, rep1) = slipstream_check::run_checked(w.as_ref(), &spec.clone().with_threads(1));
+            assert!(
+                rep1.ok(),
+                "{}: checker rejected the one-worker run: {}",
+                ctx(w.as_ref(), spec, 1),
+                rep1.summary()
+            );
+            let (r2, rep2) = slipstream_check::run_checked(w.as_ref(), &spec.clone().with_threads(2));
+            let c = ctx(w.as_ref(), spec, 2);
+            assert!(rep2.ok(), "{c}: checker rejected the two-worker run: {}", rep2.summary());
+            assert_eq!(r1, r2, "{c}: checked results diverged");
+        }
+    }
+}

@@ -219,11 +219,11 @@ struct Copies {
     /// Node holding the line exclusively, if any.
     excl: Option<u16>,
     /// Bit per node: coherent shared copies.
-    shared: u32,
+    shared: u128,
     /// Bit per node: transparent (coherence-invisible) copies. Transparent
     /// fills the L2 drops are still recorded (over-approximation): stale
     /// bits only ever suppress PC009, never create a violation.
-    transparent: u32,
+    transparent: u128,
 }
 
 const MAX_VIOLATIONS: usize = 100;
@@ -242,8 +242,8 @@ struct ProtoState {
     counts: CheckCounts,
 }
 
-fn bit(node: NodeId) -> u32 {
-    1u32 << node.0
+fn bit(node: NodeId) -> u128 {
+    1u128 << node.0
 }
 
 impl ProtoState {

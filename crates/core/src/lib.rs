@@ -53,6 +53,7 @@
 //! ```
 
 mod machine;
+mod pdes;
 mod report;
 mod runner;
 mod stream;

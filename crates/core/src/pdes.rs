@@ -1,0 +1,679 @@
+//! Conservative parallel discrete-event execution (PDES) of one run.
+//!
+//! The simulated machine decomposes naturally by node: each CMP node owns
+//! its two processors with their private L1s, the shared L2, the slice of
+//! the directory it is home for, and its network ports. The only coupling
+//! between nodes is the interconnect, and every message crossing it pays
+//! at least the network traversal latency (`Latencies::net`). That fixed
+//! minimum is conservative *lookahead* in the classic PDES sense: a node
+//! that has processed every event before time `T` cannot receive a new
+//! message that fires before `T + net`.
+//!
+//! The engine therefore partitions the N nodes across K worker threads
+//! (one [`Machine`] per *node*, regardless of K — so results are
+//! bit-identical for every K by construction) and advances them in
+//! epochs:
+//!
+//! 1. **run** — each node processes its queue and inbox up to the epoch
+//!    bound `β`, diverting cross-node `NetOut` sends into a per-node
+//!    mailbox instead of the local queue;
+//! 2. **merge** — each node folds the messages addressed to it into its
+//!    inbox, ordered by the fixed key `(arrival, src, seq)`, and reports
+//!    the earliest time it still has work at;
+//! 3. **advance** — the leader takes the global minimum `m` of those
+//!    times and opens the next epoch at `β' = m + W`, where the window
+//!    `W ≤ net` is the lookahead. Every message diverted while running
+//!    events at `t ≥ m` arrives at `t + net ≥ m + W = β'`, so no node can
+//!    ever receive a message for a time it has already passed.
+//!
+//! When every queue and inbox is empty the run has terminated (or
+//! deadlocked, which the per-node teardown reports exactly like the
+//! serial loop). Private work still batches ahead of the bound inside a
+//! quantum — only globally visible operations (shared accesses, sync,
+//! input) are pinned to exact times, and the inline-resume gate in
+//! [`Machine`] refuses to carry one past the epoch bound or past a
+//! pending inbox arrival.
+//!
+//! Tracing and checking ride the same determinism: each node records its
+//! [`MemTracer`] hook calls and machine-level events as plain data
+//! ([`NodeRec`]), and after the run the driver merges all records in
+//! `(time, node, capture index)` order and replays them into the real
+//! recorder and/or the caller's tracer on one thread. The replayed stream
+//! is identical for every K.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use slipstream_kernel::config::{ArSyncMode, ExecMode, MachineConfig};
+use slipstream_kernel::{CpuId, Cycle, LineAddr, NodeId, TaskId};
+use slipstream_mem::{
+    AccessKind, AccessOutcome, HomeMap, MemStats, MemSystem, MemTracer, Msg, StreamRole, SyncOp,
+    TracePerm,
+};
+use slipstream_prog::{InstanceId, Layout};
+
+use crate::machine::Machine;
+use crate::report::{RunResult, StreamReport};
+use crate::runner::RunSpec;
+use crate::stream::{PairState, StreamExec};
+use crate::trace::{IntervalSample, TraceConfig, TraceData, TraceKind, TraceState};
+use crate::workload::Workload;
+
+/// A cross-partition message in flight between two node machines.
+///
+/// `(at, src, seq)` is the deterministic merge key: `at` is the arrival
+/// time at the destination's network input port, `src` the sending node,
+/// and `seq` the sender's running send counter. Each node is simulated by
+/// exactly one machine for every worker count, so the key — and with it
+/// the receiver's processing order — is independent of K.
+#[derive(Debug, Clone)]
+pub(crate) struct WireMsg {
+    /// Arrival time at the destination (`NetIn` time).
+    pub at: Cycle,
+    /// Sending node.
+    pub src: u16,
+    /// The sender's send counter at the time of the send.
+    pub seq: u64,
+    /// The protocol message itself.
+    pub msg: Msg,
+}
+
+/// One captured [`MemTracer`] hook invocation, stored as plain data so it
+/// can cross threads and be replayed later. Mirrors the trait's sixteen
+/// hooks one-to-one.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TraceCall {
+    Access { now: Cycle, cpu: CpuId, role: StreamRole, kind: AccessKind, line: LineAddr, outcome: AccessOutcome },
+    Fill { now: Cycle, node: NodeId, line: LineAddr, excl: bool, transparent: bool },
+    DirTransition { now: Cycle, line: LineAddr, from: TracePerm, to: TracePerm, requester: NodeId },
+    Intervention { now: Cycle, line: LineAddr, owner: NodeId, requester: NodeId, excl: bool },
+    Invalidation { now: Cycle, line: LineAddr, target: NodeId },
+    SiHint { now: Cycle, line: LineAddr, owner: NodeId },
+    SiAction { now: Cycle, node: NodeId, line: LineAddr, invalidated: bool },
+    TransparentUpgrade { now: Cycle, line: LineAddr, from: NodeId },
+    TransparentReply { now: Cycle, line: LineAddr, from: NodeId },
+    Writeback { now: Cycle, line: LineAddr, from: NodeId },
+    SyncEvent { now: Cycle, cpu: CpuId, op: SyncOp, granted: u32 },
+    L2Evict { now: Cycle, node: NodeId, line: LineAddr, dirty: bool, transparent: bool },
+    L2Invalidate { now: Cycle, node: NodeId, line: LineAddr },
+    L2Downgrade { now: Cycle, node: NodeId, line: LineAddr },
+    MshrAlloc { now: Cycle, node: NodeId, line: LineAddr },
+    MshrFree { now: Cycle, node: NodeId, line: LineAddr },
+}
+
+impl TraceCall {
+    fn at(&self) -> Cycle {
+        match *self {
+            TraceCall::Access { now, .. }
+            | TraceCall::Fill { now, .. }
+            | TraceCall::DirTransition { now, .. }
+            | TraceCall::Intervention { now, .. }
+            | TraceCall::Invalidation { now, .. }
+            | TraceCall::SiHint { now, .. }
+            | TraceCall::SiAction { now, .. }
+            | TraceCall::TransparentUpgrade { now, .. }
+            | TraceCall::TransparentReply { now, .. }
+            | TraceCall::Writeback { now, .. }
+            | TraceCall::SyncEvent { now, .. }
+            | TraceCall::L2Evict { now, .. }
+            | TraceCall::L2Invalidate { now, .. }
+            | TraceCall::L2Downgrade { now, .. }
+            | TraceCall::MshrAlloc { now, .. }
+            | TraceCall::MshrFree { now, .. } => now,
+        }
+    }
+
+    /// Replays the captured call into a live tracer.
+    fn apply(&self, t: &mut dyn MemTracer) {
+        match *self {
+            TraceCall::Access { now, cpu, role, kind, line, outcome } => {
+                t.access(now, cpu, role, kind, line, outcome)
+            }
+            TraceCall::Fill { now, node, line, excl, transparent } => {
+                t.fill(now, node, line, excl, transparent)
+            }
+            TraceCall::DirTransition { now, line, from, to, requester } => {
+                t.dir_transition(now, line, from, to, requester)
+            }
+            TraceCall::Intervention { now, line, owner, requester, excl } => {
+                t.intervention(now, line, owner, requester, excl)
+            }
+            TraceCall::Invalidation { now, line, target } => t.invalidation(now, line, target),
+            TraceCall::SiHint { now, line, owner } => t.si_hint(now, line, owner),
+            TraceCall::SiAction { now, node, line, invalidated } => {
+                t.si_action(now, node, line, invalidated)
+            }
+            TraceCall::TransparentUpgrade { now, line, from } => {
+                t.transparent_upgrade(now, line, from)
+            }
+            TraceCall::TransparentReply { now, line, from } => t.transparent_reply(now, line, from),
+            TraceCall::Writeback { now, line, from } => t.writeback(now, line, from),
+            TraceCall::SyncEvent { now, cpu, op, granted } => t.sync_event(now, cpu, op, granted),
+            TraceCall::L2Evict { now, node, line, dirty, transparent } => {
+                t.l2_evict(now, node, line, dirty, transparent)
+            }
+            TraceCall::L2Invalidate { now, node, line } => t.l2_invalidate(now, node, line),
+            TraceCall::L2Downgrade { now, node, line } => t.l2_downgrade(now, node, line),
+            TraceCall::MshrAlloc { now, node, line } => t.mshr_alloc(now, node, line),
+            TraceCall::MshrFree { now, node, line } => t.mshr_free(now, node, line),
+        }
+    }
+}
+
+/// One record captured on a node during parallel execution: a memory
+/// tracer hook or a machine-level trace event (recovery, session end).
+/// Records are merged across nodes in `(time, node, capture index)`
+/// order before replay.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum NodeRec {
+    Mem(TraceCall),
+    Machine(Cycle, TraceKind),
+}
+
+impl NodeRec {
+    fn at(&self) -> Cycle {
+        match self {
+            NodeRec::Mem(c) => c.at(),
+            NodeRec::Machine(t, _) => *t,
+        }
+    }
+}
+
+/// A [`MemTracer`] that captures every hook as a [`TraceCall`] for later
+/// single-threaded replay. `capture_access` elides the (very hot) access
+/// hook when no trace recorder will consume it — the protocol checker
+/// does not observe accesses.
+#[derive(Debug)]
+pub(crate) struct RecordingTracer {
+    sink: Rc<RefCell<Vec<NodeRec>>>,
+    capture_access: bool,
+}
+
+impl RecordingTracer {
+    pub(crate) fn new(sink: Rc<RefCell<Vec<NodeRec>>>, capture_access: bool) -> RecordingTracer {
+        RecordingTracer { sink, capture_access }
+    }
+
+    fn push(&self, call: TraceCall) {
+        self.sink.borrow_mut().push(NodeRec::Mem(call));
+    }
+}
+
+impl MemTracer for RecordingTracer {
+    fn access(
+        &mut self,
+        now: Cycle,
+        cpu: CpuId,
+        role: StreamRole,
+        kind: AccessKind,
+        line: LineAddr,
+        outcome: AccessOutcome,
+    ) {
+        if self.capture_access {
+            self.push(TraceCall::Access { now, cpu, role, kind, line, outcome });
+        }
+    }
+    fn fill(&mut self, now: Cycle, node: NodeId, line: LineAddr, excl: bool, transparent: bool) {
+        self.push(TraceCall::Fill { now, node, line, excl, transparent });
+    }
+    fn dir_transition(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        from: TracePerm,
+        to: TracePerm,
+        requester: NodeId,
+    ) {
+        self.push(TraceCall::DirTransition { now, line, from, to, requester });
+    }
+    fn intervention(&mut self, now: Cycle, line: LineAddr, owner: NodeId, requester: NodeId, excl: bool) {
+        self.push(TraceCall::Intervention { now, line, owner, requester, excl });
+    }
+    fn invalidation(&mut self, now: Cycle, line: LineAddr, target: NodeId) {
+        self.push(TraceCall::Invalidation { now, line, target });
+    }
+    fn si_hint(&mut self, now: Cycle, line: LineAddr, owner: NodeId) {
+        self.push(TraceCall::SiHint { now, line, owner });
+    }
+    fn si_action(&mut self, now: Cycle, node: NodeId, line: LineAddr, invalidated: bool) {
+        self.push(TraceCall::SiAction { now, node, line, invalidated });
+    }
+    fn transparent_upgrade(&mut self, now: Cycle, line: LineAddr, from: NodeId) {
+        self.push(TraceCall::TransparentUpgrade { now, line, from });
+    }
+    fn transparent_reply(&mut self, now: Cycle, line: LineAddr, from: NodeId) {
+        self.push(TraceCall::TransparentReply { now, line, from });
+    }
+    fn writeback(&mut self, now: Cycle, line: LineAddr, from: NodeId) {
+        self.push(TraceCall::Writeback { now, line, from });
+    }
+    fn sync_event(&mut self, now: Cycle, cpu: CpuId, op: SyncOp, granted: u32) {
+        self.push(TraceCall::SyncEvent { now, cpu, op, granted });
+    }
+    fn l2_evict(&mut self, now: Cycle, node: NodeId, line: LineAddr, dirty: bool, transparent: bool) {
+        self.push(TraceCall::L2Evict { now, node, line, dirty, transparent });
+    }
+    fn l2_invalidate(&mut self, now: Cycle, node: NodeId, line: LineAddr) {
+        self.push(TraceCall::L2Invalidate { now, node, line });
+    }
+    fn l2_downgrade(&mut self, now: Cycle, node: NodeId, line: LineAddr) {
+        self.push(TraceCall::L2Downgrade { now, node, line });
+    }
+    fn mshr_alloc(&mut self, now: Cycle, node: NodeId, line: LineAddr) {
+        self.push(TraceCall::MshrAlloc { now, node, line });
+    }
+    fn mshr_free(&mut self, now: Cycle, node: NodeId, line: LineAddr) {
+        self.push(TraceCall::MshrFree { now, node, line });
+    }
+}
+
+/// One node's share of the run results, produced by
+/// [`Machine::pdes_finish`] and merged by the driver in node order.
+#[derive(Debug)]
+pub(crate) struct NodePart {
+    pub streams: Vec<StreamReport>,
+    /// Final `(run_ahead, tokens)` per pair on this node.
+    pub pairs: Vec<(i64, u32)>,
+    pub stats: MemStats,
+    pub recoveries: u64,
+    pub host_events: u64,
+    pub queue_pushed: u64,
+    pub queue_high_water: usize,
+    pub records: Vec<NodeRec>,
+}
+
+/// One node's contribution to an interval sample, snapshotted at an epoch
+/// barrier.
+#[derive(Debug)]
+pub(crate) struct SamplePart {
+    pub stats: MemStats,
+    /// `(run_ahead, tokens)` per pair on this node.
+    pub pairs: Vec<(i64, u32)>,
+    pub queue_len: usize,
+    pub host_events: u64,
+    pub recoveries: u64,
+}
+
+/// Builds the per-node machines for nodes `lo..hi` of the run.
+///
+/// Program construction must replay the *whole* run's allocation sequence
+/// — every instance's builder call mutates the shared [`Layout`] — so
+/// each worker walks the full placement in the exact order the serial
+/// runner uses and keeps only the programs for the nodes it owns. The
+/// resulting layout (and with it every address and home assignment) is
+/// identical on every worker and identical to a serial run.
+fn build_node_machines(
+    workload: &dyn Workload,
+    spec: &RunSpec,
+    cfg: &MachineConfig,
+    ntasks: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<Machine> {
+    let mut layout = Layout::with_page_size(cfg.page_bytes);
+    let builder = workload.instantiate(ntasks, &mut layout);
+
+    let mut placement: Vec<NodeId> = Vec::new();
+    // (streams, pairs) per owned node; pair indices are node-local.
+    let mut per_node: Vec<(Vec<StreamExec>, Vec<PairState>)> =
+        (lo..hi).map(|_| (Vec::new(), Vec::new())).collect();
+    let mut next_inst = 0u32;
+    let mut mk = |layout: &mut Layout,
+                  placement: &mut Vec<NodeId>,
+                  task: usize,
+                  cpu: CpuId,
+                  role: StreamRole,
+                  pair: Option<usize>|
+     -> Option<StreamExec> {
+        let inst = InstanceId(next_inst);
+        next_inst += 1;
+        placement.push(cpu.node());
+        let prog = builder(layout, inst, task);
+        let owned = (lo..hi).contains(&cpu.node().idx());
+        owned.then(|| StreamExec::new(cpu, role, TaskId(task as u16), pair, prog.iter()))
+    };
+    match spec.mode {
+        ExecMode::Single => {
+            for t in 0..ntasks {
+                let cpu = CpuId::new(NodeId(t as u16), 0);
+                if let Some(s) = mk(&mut layout, &mut placement, t, cpu, StreamRole::Solo, None) {
+                    per_node[t - lo].0.push(s);
+                }
+            }
+        }
+        ExecMode::Double => {
+            for t in 0..ntasks {
+                let node = t / 2;
+                let cpu = CpuId::new(NodeId(node as u16), (t % 2) as u8);
+                if let Some(s) = mk(&mut layout, &mut placement, t, cpu, StreamRole::Solo, None) {
+                    per_node[node - lo].0.push(s);
+                }
+            }
+        }
+        ExecMode::Slipstream => {
+            for t in 0..ntasks {
+                let node = NodeId(t as u16);
+                let r = mk(&mut layout, &mut placement, t, CpuId::new(node, 0), StreamRole::R, Some(0));
+                let a = mk(&mut layout, &mut placement, t, CpuId::new(node, 1), StreamRole::A, Some(0));
+                if let (Some(r), Some(a)) = (r, a) {
+                    let (streams, pairs) = &mut per_node[t - lo];
+                    streams.push(r);
+                    let a_idx = streams.len();
+                    streams.push(a);
+                    let start = if spec.slip.ar_adaptive {
+                        ArSyncMode::ALL[0]
+                    } else {
+                        spec.slip.ar_sync
+                    };
+                    pairs.push(PairState::new(a_idx, start, spec.slip.ar_adaptive));
+                }
+            }
+        }
+    }
+
+    let mode = spec.mode;
+    let task_node = |task: u32| -> NodeId {
+        match mode {
+            ExecMode::Single | ExecMode::Slipstream => NodeId(task as u16),
+            ExecMode::Double => NodeId((task / 2) as u16),
+        }
+    };
+    let home = HomeMap::new(&layout, cfg.nodes, |inst| placement[inst.0 as usize], task_node);
+
+    per_node
+        .into_iter()
+        .enumerate()
+        .map(|(offset, (streams, pairs))| {
+            let node = NodeId((lo + offset) as u16);
+            assert!(!streams.is_empty(), "every node hosts at least one stream");
+            let mut mem = MemSystem::new_partition(cfg, home.clone(), ntasks as u32, node);
+            mem.set_si_interval(spec.slip.si_interval.max(1));
+            Machine::assemble(
+                workload.name().to_string(),
+                cfg.clone(),
+                spec.slip,
+                spec.mode,
+                mem,
+                streams,
+                pairs,
+                spec.quantum_cycles,
+                spec.input_cycles,
+                ntasks,
+                TraceConfig::default(),
+                spec.fastpath,
+                None,
+            )
+        })
+        .collect()
+}
+
+/// Merges per-node sample parts (in node order) into one interval sample
+/// stamped at `cycle`.
+fn merge_sample(cycle: u64, slots: &[Mutex<Option<SamplePart>>]) -> IntervalSample {
+    let mut stats = MemStats::default();
+    let mut run_ahead = Vec::new();
+    let mut tokens = Vec::new();
+    let mut queue_len = 0usize;
+    let mut host_events = 0u64;
+    let mut recoveries = 0u64;
+    for slot in slots {
+        let guard = slot.lock().unwrap();
+        let p = guard.as_ref().expect("every node wrote its sample part");
+        stats.accumulate(&p.stats);
+        for &(ra, tk) in &p.pairs {
+            run_ahead.push(ra);
+            tokens.push(tk);
+        }
+        queue_len += p.queue_len;
+        host_events += p.host_events;
+        recoveries += p.recoveries;
+    }
+    IntervalSample { cycle, stats, run_ahead, tokens, queue_len, host_events, recoveries }
+}
+
+/// Runs `workload` under `spec` on `spec.threads` worker threads and
+/// returns results bit-identical for every thread count (see the module
+/// docs for why). Called by the runner when `spec.threads >= 1`; `cfg`
+/// and `ntasks` are the resolved machine description and task count.
+pub(crate) fn run_pdes(
+    workload: &dyn Workload,
+    spec: &RunSpec,
+    cfg: MachineConfig,
+    ntasks: usize,
+    extra_tracer: Option<Box<dyn MemTracer>>,
+) -> (RunResult, Option<TraceData>) {
+    let nodes = cfg.nodes as usize;
+    assert!(cfg.lat.net >= 1, "parallel execution needs a positive network latency for lookahead");
+    // The epoch window: at most the lookahead (network traversal), at
+    // least one cycle. Smaller windows mean more barriers but identical
+    // results; the override exists for the boundary stress tests.
+    let w = spec.epoch_window.unwrap_or(cfg.lat.net).clamp(1, cfg.lat.net);
+    let k = (spec.threads as usize).min(nodes).max(1);
+    let interval = if spec.trace.enabled() { spec.trace.interval } else { 0 };
+    let want_records = spec.trace.enabled() || extra_tracer.is_some();
+    let capture_access = spec.trace.enabled();
+
+    let barrier = Barrier::new(k);
+    // Mailboxes indexed by destination node; workers append during the run
+    // phase and the owner drains at the merge phase.
+    let mail: Vec<Mutex<Vec<WireMsg>>> = (0..nodes).map(|_| Mutex::new(Vec::new())).collect();
+    // Per-worker minimum next-event time (u64::MAX = idle).
+    let next_times: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let bound = AtomicU64::new(w);
+    let done = AtomicBool::new(false);
+    let sample_slots: Vec<Mutex<Option<SamplePart>>> =
+        (0..nodes).map(|_| Mutex::new(None)).collect();
+
+    type WorkerOut = (Vec<(usize, NodePart)>, Option<Vec<IntervalSample>>);
+    let mut results: Vec<WorkerOut> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..k)
+            .map(|wi| {
+                let (barrier, mail, next_times, bound, done, sample_slots) =
+                    (&barrier, &mail, &next_times, &bound, &done, &sample_slots);
+                let cfg = &cfg;
+                s.spawn(move || -> WorkerOut {
+                    let lo = nodes * wi / k;
+                    let hi = nodes * (wi + 1) / k;
+                    let mut machines = build_node_machines(workload, spec, cfg, ntasks, lo, hi);
+                    for m in machines.iter_mut() {
+                        let sink = want_records.then(|| Rc::new(RefCell::new(Vec::new())));
+                        m.pdes_start(sink, capture_access);
+                    }
+                    let mut send_seqs = vec![0u64; machines.len()];
+                    let mut outbox: Vec<WireMsg> = Vec::new();
+                    let mut arrivals: Vec<WireMsg> = Vec::new();
+                    let mut my_samples: Vec<IntervalSample> = Vec::new();
+                    let mut next_sample = if interval > 0 { interval } else { u64::MAX };
+                    let mut b = w;
+                    loop {
+                        // Run phase: advance every owned node to the bound,
+                        // posting diverted sends to the receivers' mailboxes.
+                        for (mi, m) in machines.iter_mut().enumerate() {
+                            m.pdes_run_until(Cycle(b), &mut outbox, &mut send_seqs[mi]);
+                            for wmsg in outbox.drain(..) {
+                                mail[wmsg.msg.dst.idx()].lock().unwrap().push(wmsg);
+                            }
+                        }
+                        barrier.wait();
+                        // Merge phase: fold arrivals into each owned node's
+                        // inbox and report the earliest remaining work time.
+                        let mut local_min = u64::MAX;
+                        for (mi, m) in machines.iter_mut().enumerate() {
+                            let node = lo + mi;
+                            std::mem::swap(&mut *mail[node].lock().unwrap(), &mut arrivals);
+                            m.pdes_deliver(&mut arrivals);
+                            if let Some(t) = m.pdes_next_time() {
+                                local_min = local_min.min(t.raw());
+                            }
+                            if interval > 0 {
+                                *sample_slots[node].lock().unwrap() = Some(m.pdes_sample_part());
+                            }
+                        }
+                        next_times[wi].store(local_min, Ordering::SeqCst);
+                        barrier.wait();
+                        // Advance phase: the leader opens the next epoch (or
+                        // declares termination) and emits any interval
+                        // samples whose boundary the run just passed.
+                        if wi == 0 {
+                            let min = next_times
+                                .iter()
+                                .map(|t| t.load(Ordering::SeqCst))
+                                .min()
+                                .expect("at least one worker");
+                            while next_sample < b {
+                                my_samples.push(merge_sample(next_sample, sample_slots));
+                                next_sample += interval;
+                            }
+                            if min == u64::MAX {
+                                done.store(true, Ordering::SeqCst);
+                            } else {
+                                bound.store(min.saturating_add(w), Ordering::SeqCst);
+                            }
+                        }
+                        barrier.wait();
+                        if done.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        b = bound.load(Ordering::SeqCst);
+                    }
+                    let parts = machines
+                        .into_iter()
+                        .enumerate()
+                        .map(|(mi, m)| (lo + mi, m.pdes_finish()))
+                        .collect();
+                    (parts, (wi == 0).then_some(my_samples))
+                })
+            })
+            .collect();
+        results = handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect();
+    });
+
+    let mut slots: Vec<Option<NodePart>> = (0..nodes).map(|_| None).collect();
+    let mut samples: Vec<IntervalSample> = Vec::new();
+    for (list, s) in results {
+        for (node, part) in list {
+            slots[node] = Some(part);
+        }
+        if let Some(s) = s {
+            samples = s;
+        }
+    }
+    let mut parts: Vec<NodePart> =
+        slots.into_iter().map(|p| p.expect("every node finished")).collect();
+
+    // Merge per-node results in node order — which is exactly the serial
+    // runner's stream construction order.
+    let mut stats = MemStats::default();
+    let mut streams: Vec<StreamReport> = Vec::new();
+    let mut recoveries = 0u64;
+    let mut host_events = 0u64;
+    let mut queue_pushed = 0u64;
+    let mut queue_high_water = 0usize;
+    for p in parts.iter_mut() {
+        stats.accumulate(&p.stats);
+        streams.append(&mut p.streams);
+        recoveries += p.recoveries;
+        host_events += p.host_events;
+        queue_pushed += p.queue_pushed;
+        queue_high_water = queue_high_water.max(p.queue_high_water);
+    }
+    let exec_cycles = streams
+        .iter()
+        .filter(|s| s.role != StreamRole::A)
+        .map(|s| s.finish)
+        .max()
+        .unwrap_or(0);
+
+    let mut trace = None;
+    if want_records {
+        // The deterministic merge: all captured records, ordered by
+        // (time, node, per-node capture index). Per-node sequences are
+        // K-invariant, so the merged stream is too.
+        let mut order: Vec<(u64, u16, u32)> = Vec::new();
+        for (node, p) in parts.iter().enumerate() {
+            for (idx, rec) in p.records.iter().enumerate() {
+                order.push((rec.at().raw(), node as u16, idx as u32));
+            }
+        }
+        order.sort_unstable();
+        let (ts, mut rec) = match spec.trace.enabled().then(|| TraceState::new(spec.trace)) {
+            Some((ts, rec)) => (Some(ts), Some(rec)),
+            None => (None, None),
+        };
+        let mut extra = extra_tracer;
+        for &(_, node, idx) in &order {
+            match &parts[node as usize].records[idx as usize] {
+                NodeRec::Mem(call) => {
+                    if let Some(r) = rec.as_mut() {
+                        call.apply(r);
+                    }
+                    if let Some(e) = extra.as_mut() {
+                        call.apply(e.as_mut());
+                    }
+                }
+                NodeRec::Machine(t, kind) => {
+                    if let Some(ts) = ts.as_ref() {
+                        ts.buf.borrow_mut().push(*t, *kind);
+                    }
+                }
+            }
+        }
+        drop(rec);
+        if let Some(ts) = ts {
+            if ts.cfg.interval > 0 {
+                // Closing sample at the end of the run, as in the serial
+                // teardown: the final cumulative state.
+                let mut run_ahead = Vec::new();
+                let mut tokens = Vec::new();
+                for p in &parts {
+                    for &(ra, tk) in &p.pairs {
+                        run_ahead.push(ra);
+                        tokens.push(tk);
+                    }
+                }
+                samples.push(IntervalSample {
+                    cycle: exec_cycles,
+                    stats: stats.clone(),
+                    run_ahead,
+                    tokens,
+                    queue_len: 0,
+                    host_events,
+                    recoveries,
+                });
+            }
+            let buf = Rc::try_unwrap(ts.buf)
+                .expect("trace buffer uniquely owned once the recorder is dropped")
+                .into_inner();
+            trace = Some(TraceData::assemble(
+                ts.cfg,
+                buf,
+                samples,
+                queue_pushed,
+                queue_high_water,
+                exec_cycles,
+            ));
+        }
+    }
+
+    let result = RunResult {
+        name: workload.name().to_string(),
+        mode: spec.mode,
+        nodes: cfg.nodes,
+        tasks: ntasks,
+        exec_cycles,
+        streams,
+        mem: stats,
+        recoveries,
+        host_events,
+    };
+    (result, trace)
+}

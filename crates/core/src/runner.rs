@@ -36,6 +36,19 @@ pub struct RunSpec {
     /// result is bit-identical either way; turning this off exists for the
     /// differential tests and debugging.
     pub fastpath: bool,
+    /// Worker threads for intra-run parallel simulation (`crate::pdes`).
+    /// `0` (the default) runs the classic serial event loop; any `K >= 1`
+    /// runs the conservative parallel engine, whose results are
+    /// bit-identical for every `K` (but may differ from the serial loop
+    /// in host-side accounting such as `host_events` — the simulated
+    /// machine's timings and statistics are engine-invariant only within
+    /// each engine).
+    pub threads: u16,
+    /// Override the parallel engine's epoch window in cycles, clamped to
+    /// `[1, Latencies::net]` (the conservative lookahead). `None` uses the
+    /// full lookahead. Smaller windows add barriers but cannot change
+    /// results; the knob exists for the epoch-boundary stress tests.
+    pub epoch_window: Option<u64>,
 }
 
 impl RunSpec {
@@ -51,7 +64,23 @@ impl RunSpec {
             input_cycles: 500,
             trace: TraceConfig::default(),
             fastpath: true,
+            threads: 0,
+            epoch_window: None,
         }
+    }
+
+    /// Sets the worker-thread count for intra-run parallel simulation
+    /// (`0` = serial event loop).
+    pub fn with_threads(mut self, threads: u16) -> RunSpec {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the parallel engine's epoch window (see
+    /// [`RunSpec::epoch_window`]).
+    pub fn with_epoch_window(mut self, window: u64) -> RunSpec {
+        self.epoch_window = Some(window);
+        self
     }
 
     /// Sets the slipstream configuration.
@@ -133,6 +162,9 @@ fn run_inner(
         ExecMode::Single | ExecMode::Slipstream => spec.nodes as usize,
         ExecMode::Double => spec.nodes as usize * 2,
     };
+    if spec.threads >= 1 {
+        return crate::pdes::run_pdes(workload, spec, cfg, ntasks, extra_tracer);
+    }
     let mut layout = Layout::with_page_size(cfg.page_bytes);
     let builder = workload.instantiate(ntasks, &mut layout);
 

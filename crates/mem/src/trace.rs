@@ -46,7 +46,7 @@ pub enum TracePerm {
     /// Shared copies exist at the nodes set in `sharers` (bit per node).
     Shared {
         /// Bit-vector of sharing nodes.
-        sharers: u32,
+        sharers: u128,
     },
     /// One node holds the line exclusively.
     Excl {
