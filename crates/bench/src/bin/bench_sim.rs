@@ -7,7 +7,8 @@
 //! reported by the figure binaries and EXPERIMENTS.md.
 //!
 //! Usage: `bench_sim [--out PATH] [--iters N] [--threads K] [--scaling]
-//!                   [--compare BASELINE [--tolerance PCT]]`
+//!                   [--compare BASELINE [--tolerance PCT]]
+//!                   [--host-profile [DIR]] [--quiet]`
 //!   --out PATH        output file (default: BENCH_sim.json; not written in
 //!                     compare mode unless given explicitly)
 //!   --iters N         timed iterations per run; minimum wall time is kept
@@ -16,19 +17,36 @@
 //!                     conservative parallel engine; default 0 = serial)
 //!   --scaling         also measure the parallel-engine scaling matrix
 //!                     (events/sec vs worker count at 16/64/128 nodes) and
-//!                     record it under "scaling" in the JSON
+//!                     record it under "scaling" in the JSON; every scaling
+//!                     row also does one untimed profiled run to record its
+//!                     worker-imbalance ratio
 //!   --compare PATH    re-measure and compare events/sec against a baseline
 //!                     JSON written by this tool; exits nonzero if any run
 //!                     (or the total) regresses by more than the tolerance.
 //!                     Warns when the baseline was measured on a host with
 //!                     a different cpu count (cross-host numbers are
-//!                     informational, not a like-for-like gate)
+//!                     informational, not a like-for-like gate). With
+//!                     `--scaling`, also warns (never fails) when a scaling
+//!                     row's imbalance ratio regressed by more than 25%
 //!   --tolerance PCT   allowed events/sec regression in percent for
 //!                     `--compare` (default: 15)
+//!   --host-profile [DIR]  do one extra untimed profiled run per matrix
+//!                     case (timed runs stay unprofiled), attach a "host"
+//!                     summary to each JSON row, and — when DIR is given —
+//!                     export the full per-worker profiles as
+//!                     DIR/host_profile.json
+//!   --quiet           silence progress narration on stderr
+//!
+//! Profiled runs are bit-identical to unprofiled ones, so the extra run
+//! never perturbs the recorded simulated numbers.
 
 use std::time::Instant;
 
-use slipstream_core::{run, ArSyncMode, ExecMode, RunResult, RunSpec, SlipstreamConfig, Workload};
+use slipstream_bench::write_host_profile_json;
+use slipstream_core::{
+    host_note, run, run_full, ArSyncMode, ExecMode, HostProfile, HostProfileData, RunResult,
+    RunSpec, SlipstreamConfig, Workload,
+};
 use slipstream_workloads::quick_suite;
 
 struct Case {
@@ -46,6 +64,8 @@ struct Measured {
     wall_s: f64,
     events: u64,
     exec_cycles: u64,
+    /// Host profile from one extra untimed run (`--host-profile` only).
+    profile: Option<HostProfileData>,
 }
 
 /// The benchmark matrix: every quick-suite workload under every execution
@@ -84,6 +104,25 @@ struct ScalingRow {
     threads: u16,
     wall_s: f64,
     events: u64,
+    /// Worker load-imbalance ratio (max/mean busy time) from one extra
+    /// untimed profiled run.
+    imbalance: f64,
+}
+
+impl ScalingRow {
+    /// The row's label in the JSON (`"case"`, deliberately not `"name"`,
+    /// so it stays out of the events/sec regression gate).
+    fn case(&self) -> String {
+        format!("scaling_{}_{}n_{}t", self.workload.to_ascii_lowercase(), self.nodes, self.threads)
+    }
+}
+
+/// One extra run of `spec` with host profiling on. Profiled runs are
+/// bit-identical to unprofiled ones; this exists purely to collect the
+/// host-side telemetry.
+fn profile_run(w: &dyn Workload, spec: &RunSpec) -> HostProfileData {
+    let spec = spec.clone().with_host_profile(HostProfile::enabled());
+    run_full(w, &spec).profile.expect("profiling was enabled")
 }
 
 /// Measures the conservative parallel engine's throughput as the worker
@@ -92,7 +131,7 @@ struct ScalingRow {
 /// `nodes` × `threads`; `threads = 1` is the parallel engine on one
 /// worker, i.e. the engine's own baseline (its results are bit-identical
 /// for every worker count, so the rows time identical simulations).
-fn scaling_matrix(iters: u32) -> Vec<ScalingRow> {
+fn scaling_matrix(iters: u32, profiles: &mut Vec<(String, HostProfileData)>) -> Vec<ScalingRow> {
     let workload = quick_suite()
         .into_iter()
         .find(|w| w.name().eq_ignore_ascii_case("SOR"))
@@ -108,19 +147,27 @@ fn scaling_matrix(iters: u32) -> Vec<ScalingRow> {
                 result = run(workload.as_ref(), &spec);
                 wall_s = wall_s.min(start.elapsed().as_secs_f64());
             }
-            eprintln!(
-                "  [scaling sor @{nodes:>3} CMPs x{threads} workers {:>9.3} ms  \
-                 {:>12.0} events/s]",
-                wall_s * 1e3,
-                events_per_sec(result.host_events, wall_s)
-            );
-            rows.push(ScalingRow {
+            // One untimed profiled run per row: the imbalance ratio is part
+            // of the scaling record (and the profile is exported when
+            // --host-profile DIR is given).
+            let profile = profile_run(workload.as_ref(), &spec);
+            let row = ScalingRow {
                 workload: workload.name().to_string(),
                 nodes,
                 threads,
                 wall_s,
                 events: result.host_events,
-            });
+                imbalance: profile.imbalance_ratio(),
+            };
+            host_note!(
+                "  [scaling sor @{nodes:>3} CMPs x{threads} workers {:>9.3} ms  \
+                 {:>12.0} events/s  imbalance {:.2}]",
+                wall_s * 1e3,
+                events_per_sec(result.host_events, wall_s),
+                row.imbalance
+            );
+            profiles.push((row.case(), profile));
+            rows.push(row);
         }
     }
     rows
@@ -128,8 +175,10 @@ fn scaling_matrix(iters: u32) -> Vec<ScalingRow> {
 
 /// Run one case `iters` times (after an untimed warm-up) and keep the
 /// fastest wall time; the simulator is deterministic, so every iteration
-/// returns the identical `RunResult`.
-fn measure(case: &Case, iters: u32) -> Measured {
+/// returns the identical `RunResult`. With `profile` set, one extra
+/// untimed profiled run collects host telemetry (timed runs stay
+/// unprofiled so the baseline numbers measure the production path).
+fn measure(case: &Case, iters: u32, profile: bool) -> Measured {
     let mut result: RunResult = run(case.workload.as_ref(), &case.spec);
     let mut wall_s = f64::INFINITY;
     for _ in 0..iters.max(1) {
@@ -145,6 +194,7 @@ fn measure(case: &Case, iters: u32) -> Measured {
         wall_s,
         events: result.host_events,
         exec_cycles: result.exec_cycles,
+        profile: profile.then(|| profile_run(case.workload.as_ref(), &case.spec)),
     }
 }
 
@@ -185,6 +235,14 @@ fn num_field(line: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Extracts the `"case"`/`"imbalance"` pairs of the baseline's scaling
+/// rows (for the imbalance warn — never a gate).
+fn parse_baseline_scaling(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter_map(|l| Some((str_field(l, "case")?, num_field(l, "imbalance")?)))
+        .collect()
 }
 
 /// The `host_cpus` the baseline was measured on, if recorded.
@@ -271,7 +329,9 @@ fn main() {
     let mut scaling = false;
     let mut compare_path: Option<String> = None;
     let mut tolerance_pct: f64 = 15.0;
-    let mut args = std::env::args().skip(1);
+    let mut host_profile = false;
+    let mut host_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = Some(args.next().expect("--out needs a path")),
@@ -300,11 +360,20 @@ fn main() {
                     .parse()
                     .expect("--tolerance needs a number")
             }
+            "--host-profile" => {
+                host_profile = true;
+                // The export directory is optional: a following token that
+                // isn't a flag is the destination.
+                if args.peek().is_some_and(|v| !v.starts_with('-')) {
+                    host_dir = args.next();
+                }
+            }
+            "--quiet" => slipstream_core::telemetry::set_quiet(true),
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: bench_sim [--out PATH] [--iters N] [--threads K] [--scaling] \
-                     [--compare BASELINE [--tolerance PCT]]"
+                     [--compare BASELINE [--tolerance PCT]] [--host-profile [DIR]] [--quiet]"
                 );
                 std::process::exit(2);
             }
@@ -314,8 +383,8 @@ fn main() {
     let measured: Vec<Measured> = cases(threads)
         .iter()
         .map(|c| {
-            let m = measure(c, iters);
-            eprintln!(
+            let m = measure(c, iters, host_profile);
+            host_note!(
                 "  [{:<32} {:>9.3} ms  {:>9} events  {:>12.0} events/s]",
                 m.name,
                 m.wall_s * 1e3,
@@ -331,6 +400,30 @@ fn main() {
     let host_cpus =
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
+    // Scaling runs before compare so its imbalance ratios can be checked
+    // against the baseline's.
+    let mut scaling_profiles: Vec<(String, HostProfileData)> = Vec::new();
+    let scaling_rows =
+        if scaling { scaling_matrix(iters, &mut scaling_profiles) } else { Vec::new() };
+
+    // Export the collected host profiles (case profiles when --host-profile,
+    // scaling profiles always collected with --scaling) before any
+    // compare-mode early exit.
+    let named: Vec<(String, &HostProfileData)> = measured
+        .iter()
+        .filter_map(|m| m.profile.as_ref().map(|p| (m.name.clone(), p)))
+        .chain(scaling_profiles.iter().map(|(n, p)| (n.clone(), p)))
+        .collect();
+    if host_profile {
+        for (name, p) in &named {
+            host_note!("host profile {name}:\n{}", p.render_table());
+        }
+    }
+    if let Some(dir) = &host_dir {
+        let path = write_host_profile_json(dir, &named);
+        eprintln!("wrote {path} ({} runs)", named.len());
+    }
+
     if let Some(baseline_path) = &compare_path {
         let baseline = std::fs::read_to_string(baseline_path)
             .unwrap_or_else(|e| panic!("reading {baseline_path}: {e}"));
@@ -342,6 +435,21 @@ fn main() {
             );
         }
         let failures = compare(&measured, &baseline, tolerance_pct, host_cpus);
+        // Worker imbalance is noisy host telemetry, so a regression warns
+        // but never fails the gate.
+        let base_scaling = parse_baseline_scaling(&baseline);
+        for r in &scaling_rows {
+            let case = r.case();
+            if let Some((_, base)) = base_scaling.iter().find(|(c, _)| c == &case) {
+                if *base > 0.0 && r.imbalance > base * 1.25 {
+                    eprintln!(
+                        "  WARN {case:<32} imbalance {base:.2} -> {:.2} (> +25%: PDES workers \
+                         are less balanced; informational, not a gate)",
+                        r.imbalance
+                    );
+                }
+            }
+        }
         if failures > 0 {
             println!("{failures} run(s) regressed by more than {tolerance_pct}%");
             std::process::exit(1);
@@ -352,23 +460,36 @@ fn main() {
         }
     }
 
-    let scaling_rows = if scaling { scaling_matrix(iters) } else { Vec::new() };
-
     // Hand-written JSON: the schema is flat and fully under our control, so
     // no serialization dependency is warranted.
     let out_path = out_path.unwrap_or_else(|| String::from("BENCH_sim.json"));
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"slipstream-bench-sim/2\",\n");
+    json.push_str("  \"schema\": \"slipstream-bench-sim/3\",\n");
     json.push_str(&format!("  \"iters\": {iters},\n"));
     json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str("  \"runs\": [\n");
     for (i, m) in measured.iter().enumerate() {
+        // Host summary from the extra profiled run (--host-profile). Key
+        // names stay distinct from the gate's "name"/"events_per_sec"
+        // scan, so the summary can never enter the regression comparison.
+        let host = m.profile.as_ref().map_or_else(String::new, |p| {
+            let busy_ns = p.workers.iter().map(|w| w.busy_ns).max().unwrap_or(0);
+            let wait_ns = p.workers.iter().map(|w| w.wait_ns).max().unwrap_or(0);
+            format!(
+                ", \"host\": {{\"workers\": {}, \"imbalance\": {:.4}, \
+                 \"busy_s\": {:.6}, \"wait_s\": {:.6}}}",
+                p.workers.len(),
+                p.imbalance_ratio(),
+                busy_ns as f64 / 1e9,
+                wait_ns as f64 / 1e9
+            )
+        });
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"workload\": \"{}\", \"mode\": \"{}\", \
              \"nodes\": {}, \"wall_s\": {:.6}, \"events\": {}, \
-             \"events_per_sec\": {:.1}, \"exec_cycles\": {}}}{}\n",
+             \"events_per_sec\": {:.1}, \"exec_cycles\": {}{}}}{}\n",
             m.name,
             m.workload,
             m.mode,
@@ -377,6 +498,7 @@ fn main() {
             m.events,
             events_per_sec(m.events, m.wall_s),
             m.exec_cycles,
+            host,
             if i + 1 < measured.len() { "," } else { "" }
         ));
     }
@@ -388,18 +510,17 @@ fn main() {
     json.push_str("  \"scaling\": [\n");
     for (i, r) in scaling_rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"case\": \"scaling_{}_{}n_{}t\", \"workload\": \"{}\", \"nodes\": {}, \
+            "    {{\"case\": \"{}\", \"workload\": \"{}\", \"nodes\": {}, \
              \"sim_threads\": {}, \"wall_s\": {:.6}, \"events\": {}, \
-             \"events_per_sec\": {:.1}}}{}\n",
-            r.workload.to_ascii_lowercase(),
-            r.nodes,
-            r.threads,
+             \"events_per_sec\": {:.1}, \"imbalance\": {:.4}}}{}\n",
+            r.case(),
             r.workload,
             r.nodes,
             r.threads,
             r.wall_s,
             r.events,
             events_per_sec(r.events, r.wall_s),
+            r.imbalance,
             if i + 1 < scaling_rows.len() { "," } else { "" }
         ));
     }

@@ -53,4 +53,5 @@ fn main() {
             best / si.exec_cycles as f64
         );
     }
+    r.export_host_profile(&cli);
 }

@@ -32,4 +32,5 @@ fn main() {
             .collect();
         print_row(w.name(), &cells);
     }
+    r.export_host_profile(&cli);
 }

@@ -48,4 +48,5 @@ fn main() {
             print_row(ar.label(), &cells);
         }
     }
+    r.export_host_profile(&cli);
 }

@@ -57,4 +57,5 @@ fn main() {
         row("R: R-stream", pct(&best.avg_breakdown(StreamRole::R), base));
         row("A: A-stream", pct(&best.avg_breakdown(StreamRole::A), base));
     }
+    r.export_host_profile(&cli);
 }

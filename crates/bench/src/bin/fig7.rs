@@ -49,4 +49,5 @@ fn main() {
             row(label, &excl);
         }
     }
+    r.export_host_profile(&cli);
 }

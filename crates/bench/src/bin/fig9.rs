@@ -44,4 +44,5 @@ fn main() {
             total - trans
         );
     }
+    r.export_host_profile(&cli);
 }

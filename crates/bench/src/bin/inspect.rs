@@ -108,4 +108,14 @@ fn main() {
         m.l1_hits, m.l2_hits, m.l2_misses, m.merged_misses, m.local_txns, m.remote_txns,
         m.interventions, m.writebacks, m.invalidations_sent, m.net_messages
     );
+    // Contention-server utilization: busy cycles over exec_cycles * nodes
+    // (one server instance per node).
+    let total = r.exec_cycles.saturating_mul(r.nodes as u64);
+    let util: Vec<String> = m
+        .contention
+        .named()
+        .iter()
+        .map(|(name, u)| format!("{name}={:.1}%", 100.0 * u.utilization(total)))
+        .collect();
+    println!("  contention: {}", util.join(" "));
 }

@@ -15,6 +15,15 @@
 //! * `--check` — attach the coherence invariant checker
 //!   ([`slipstream_check::ProtocolChecker`]) to every run; a violation
 //!   fails the figure instead of rendering suspect numbers.
+//! * `--host-profile [DIR]` — profile the simulator itself
+//!   ([`slipstream_core::telemetry`]): per-run host profiles are printed
+//!   as tables on stderr and, when `DIR` is given, exported as
+//!   `DIR/host_profile.json`. Results are bit-identical with profiling
+//!   on or off.
+//! * `--heartbeat SECS` — periodic progress line per run on stderr
+//!   (events/s, elapsed); implies profile collection (not export).
+//! * `--quiet` — silence progress narration on stderr (per-run lines,
+//!   CPU-cap warnings, heartbeat); figure output and errors still print.
 //!
 //! The binaries follow one pattern: declare the full grid of runs as a
 //! [`Plan`], execute it across cores with [`Runner::prewarm`], then render
@@ -22,7 +31,10 @@
 
 use std::collections::HashMap;
 
-use slipstream_core::{ExecMode, RunResult, RunSpec, SlipstreamConfig, Workload};
+use slipstream_core::{
+    host_note, telemetry, ExecMode, HostProfile, HostProfileData, RunResult, RunSpec,
+    SlipstreamConfig, Workload,
+};
 use slipstream_workloads::{paper_suite, quick_suite};
 
 mod par;
@@ -45,6 +57,16 @@ pub struct Cli {
     pub threads: u16,
     /// Run every simulation with the protocol invariant checker attached.
     pub check: bool,
+    /// Collect host profiles for every run (`--host-profile`).
+    pub host_profile: bool,
+    /// Directory to write `host_profile.json` into (the optional value of
+    /// `--host-profile [DIR]`).
+    pub host_profile_dir: Option<String>,
+    /// Heartbeat period in seconds (`--heartbeat SECS`, 0 = off). Implies
+    /// profile collection, not export.
+    pub heartbeat: f64,
+    /// Silence progress narration on stderr (`--quiet`).
+    pub quiet: bool,
 }
 
 impl Cli {
@@ -55,7 +77,7 @@ impl Cli {
     /// Panics (with a usage message) on malformed arguments.
     pub fn parse() -> Cli {
         let mut cli = Cli::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = std::env::args().skip(1).peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => cli.quick = true,
@@ -79,13 +101,37 @@ impl Cli {
                     cli.threads = v.parse().expect("--threads takes an integer");
                 }
                 "--check" => cli.check = true,
+                "--host-profile" => {
+                    cli.host_profile = true;
+                    // The directory operand is optional: a following token
+                    // that isn't a flag is the export destination.
+                    if args.peek().is_some_and(|v| !v.starts_with('-')) {
+                        cli.host_profile_dir = args.next();
+                    }
+                }
+                "--heartbeat" => {
+                    let v = args.next().expect("--heartbeat needs a period in seconds");
+                    cli.heartbeat = v.parse().expect("--heartbeat takes a number of seconds");
+                }
+                "--quiet" => cli.quiet = true,
                 other => panic!(
                     "unknown flag {other}; supported: --quick --bench NAME --nodes N,N --jobs N \
-                     --threads K --check"
+                     --threads K --check --host-profile [DIR] --heartbeat SECS --quiet"
                 ),
             }
         }
+        telemetry::set_quiet(cli.quiet);
         cli
+    }
+
+    /// The host-profiling spec the flags ask for (`HostProfile::default()`
+    /// — off — when neither `--host-profile` nor `--heartbeat` is given).
+    pub fn host_spec(&self) -> HostProfile {
+        HostProfile {
+            enabled: self.host_profile || self.heartbeat > 0.0,
+            heartbeat_secs: self.heartbeat,
+            expected_events: 0,
+        }
     }
 
     /// The benchmark suite selected by the flags.
@@ -121,6 +167,9 @@ pub struct Runner {
     cache: HashMap<RunKey, RunResult>,
     check: bool,
     threads: u16,
+    host: HostProfile,
+    /// Host profiles in first-run order (one per unique profiled run).
+    profiles: Vec<(RunKey, HostProfileData)>,
 }
 
 impl Runner {
@@ -131,11 +180,19 @@ impl Runner {
 
     /// Creates a runner honouring the CLI's `--check` flag (every
     /// simulation, prewarmed or on-demand, then runs with the protocol
-    /// invariant checker attached, and a violation aborts the figure) and
+    /// invariant checker attached, and a violation aborts the figure),
     /// its `--threads` flag (every simulation whose spec doesn't set its
-    /// own count runs on that many intra-run workers).
+    /// own count runs on that many intra-run workers), and its
+    /// `--host-profile`/`--heartbeat` flags (host profiles are collected
+    /// per run; see [`Runner::export_host_profile`]).
     pub fn for_cli(cli: &Cli) -> Runner {
-        Runner { cache: HashMap::new(), check: cli.check, threads: cli.threads }
+        Runner {
+            cache: HashMap::new(),
+            check: cli.check,
+            threads: cli.threads,
+            host: cli.host_spec(),
+            profiles: Vec::new(),
+        }
     }
 
     /// The spec as this runner will actually execute it: the runner-wide
@@ -147,6 +204,9 @@ impl Runner {
         if spec.threads == 0 {
             spec.threads = self.threads;
         }
+        if !spec.host.is_on() {
+            spec.host = self.host.clone();
+        }
         spec
     }
 
@@ -155,9 +215,14 @@ impl Runner {
     /// cache hits, so the reporting pass stays strictly serial and ordered
     /// while the simulations use all cores.
     pub fn prewarm(&mut self, plan: &Plan<'_>, jobs: usize) {
-        let plan = plan.with_threads(self.threads);
-        let results = plan.execute_opts(jobs, self.check);
-        for (key, result) in plan.keys().zip(results) {
+        let plan = plan.with_threads(self.threads).with_host(&self.host);
+        let outs = plan.execute_collect(jobs, self.check);
+        for (key, (result, profile)) in plan.keys().zip(outs) {
+            if let Some(p) = profile {
+                if !self.cache.contains_key(&key) {
+                    self.profiles.push((key.clone(), p));
+                }
+            }
             self.cache.entry(key).or_insert(result);
         }
     }
@@ -170,8 +235,8 @@ impl Runner {
             return r.clone();
         }
         let started = std::time::Instant::now();
-        let r = par::run_cell(workload, &spec, self.check);
-        eprintln!(
+        let (r, profile) = par::run_cell_full(workload, &spec, self.check);
+        host_note!(
             "  [ran {} {} @{} CMPs in {:.1}s: {} cycles]",
             workload.name(),
             spec.mode,
@@ -179,8 +244,45 @@ impl Runner {
             started.elapsed().as_secs_f64(),
             r.exec_cycles
         );
+        if let Some(p) = profile {
+            self.profiles.push((key.clone(), p));
+        }
         self.cache.insert(key, r.clone());
         r
+    }
+
+    /// Display name of a profiled run, e.g. `SOR_slipstream_8n_t4`.
+    fn profile_name(key: &RunKey) -> String {
+        format!("{}_{}_{}n_t{}", key.name, key.mode, key.nodes, key.threads)
+    }
+
+    /// Host profiles collected so far, with display names, in first-run
+    /// order.
+    pub fn host_profiles(&self) -> Vec<(String, &HostProfileData)> {
+        self.profiles.iter().map(|(k, p)| (Runner::profile_name(k), p)).collect()
+    }
+
+    /// Renders collected host profiles (tables on stderr, honours
+    /// `--quiet`) and, when `--host-profile DIR` was given, writes
+    /// `DIR/host_profile.json`. Call once after the figure's reporting
+    /// pass; a no-op when profiling was off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the export directory can't be created or written.
+    pub fn export_host_profile(&self, cli: &Cli) {
+        if self.profiles.is_empty() {
+            return;
+        }
+        for (key, p) in &self.profiles {
+            host_note!("host profile {}:\n{}", Runner::profile_name(key), p.render_table());
+        }
+        let Some(dir) = &cli.host_profile_dir else {
+            return;
+        };
+        let named = self.host_profiles();
+        let path = write_host_profile_json(dir, &named);
+        eprintln!("wrote {path} ({} runs)", named.len());
     }
 
     /// Single-mode baseline at `nodes` CMPs.
@@ -205,6 +307,34 @@ impl Runner {
         let d = self.double(w, nodes).exec_cycles;
         s.min(d)
     }
+}
+
+/// Writes `DIR/host_profile.json` from named host profiles — the
+/// versioned export ([`slipstream_core::HOST_PROFILE_SCHEMA`]) shared by
+/// the figure binaries (via [`Runner::export_host_profile`]) and
+/// `bench_sim`. Returns the path written.
+///
+/// # Panics
+///
+/// Panics if the directory can't be created or the file can't be written.
+pub fn write_host_profile_json(dir: &str, runs: &[(String, &HostProfileData)]) -> String {
+    std::fs::create_dir_all(dir).expect("create host-profile directory");
+    let rows: Vec<String> = runs
+        .iter()
+        .map(|(name, p)| {
+            // Splice a name field into the profile's flat JSON object.
+            let body = p.to_json();
+            format!("{{\"name\":\"{name}\",{}", &body[1..])
+        })
+        .collect();
+    let json = format!(
+        "{{\"schema\":\"{}\",\"runs\":[{}]}}\n",
+        slipstream_core::HOST_PROFILE_SCHEMA,
+        rows.join(",")
+    );
+    let path = format!("{dir}/host_profile.json");
+    std::fs::write(&path, json).expect("write host_profile.json");
+    path
 }
 
 /// Prints a row of `f64` cells after a left-justified label.

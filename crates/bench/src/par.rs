@@ -16,7 +16,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use slipstream_core::{
-    run, ExecMode, MachineConfig, RunResult, RunSpec, SlipstreamConfig, Workload,
+    host_note, run, run_full, run_full_with_tracer, ExecMode, HostProfile, HostProfileData,
+    MachineConfig, RunResult, RunSpec, SlipstreamConfig, Workload,
 };
 
 /// Structured identity of one simulation cell: everything that influences
@@ -120,6 +121,26 @@ impl<'w> Plan<'w> {
         }
     }
 
+    /// A copy of the plan with host profiling applied to every cell that
+    /// doesn't already enable it (`--host-profile` on the figure
+    /// binaries). Profiling is not part of [`RunKey`] — it cannot change
+    /// results — so dedup is unaffected.
+    pub fn with_host(&self, host: &HostProfile) -> Plan<'w> {
+        Plan {
+            cells: self
+                .cells
+                .iter()
+                .map(|(w, spec)| {
+                    let mut spec = spec.clone();
+                    if !spec.host.is_on() {
+                        spec.host = host.clone();
+                    }
+                    (*w, spec)
+                })
+                .collect(),
+        }
+    }
+
     /// Executes the plan on up to `jobs` worker threads and returns one
     /// result per cell, in plan order.
     ///
@@ -138,6 +159,19 @@ impl<'w> Plan<'w> {
     /// violation prints the report and panics, failing the figure loudly
     /// rather than rendering numbers from a run the checker rejected.
     pub fn execute_opts(&self, jobs: usize, check: bool) -> Vec<RunResult> {
+        self.execute_collect(jobs, check).into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// [`Plan::execute_opts`], additionally returning each cell's host
+    /// profile (`Some` only for cells whose spec enables `host` — see
+    /// [`Plan::with_host`]). Duplicate cells share the first occurrence's
+    /// profile, like they share its result.
+    pub fn execute_collect(
+        &self,
+        jobs: usize,
+        check: bool,
+    ) -> Vec<(RunResult, Option<HostProfileData>)> {
+        type CellOut = (RunResult, Option<HostProfileData>);
         // Dedup: map every cell to the first cell with the same key.
         let mut first_of: HashMap<RunKey, usize> = HashMap::new();
         let mut unique: Vec<usize> = Vec::new(); // cell index of each unique run
@@ -151,7 +185,7 @@ impl<'w> Plan<'w> {
             cell_slot.push(slot);
         }
 
-        let slots: Vec<Mutex<Option<RunResult>>> =
+        let slots: Vec<Mutex<Option<CellOut>>> =
             unique.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         let mut workers = jobs.max(1).min(unique.len().max(1));
@@ -168,7 +202,7 @@ impl<'w> Plan<'w> {
         if workers * max_threads > host && std::env::var_os("SLIP_OVERSUBSCRIBE").is_none() {
             let capped = (host / max_threads).max(1).min(workers);
             if capped < workers {
-                eprintln!(
+                host_note!(
                     "  [capping jobs {workers} -> {capped}: {workers} jobs x {max_threads} sim \
                      threads would oversubscribe {host} host cpus; set SLIP_OVERSUBSCRIBE=1 to \
                      override]"
@@ -185,16 +219,16 @@ impl<'w> Plan<'w> {
                     }
                     let (w, spec) = &self.cells[unique[u]];
                     let started = std::time::Instant::now();
-                    let r = run_cell(*w, spec, check);
-                    eprintln!(
+                    let out = run_cell_full(*w, spec, check);
+                    host_note!(
                         "  [ran {} {} @{} CMPs in {:.1}s: {} cycles]",
                         w.name(),
                         spec.mode,
                         spec.nodes,
                         started.elapsed().as_secs_f64(),
-                        r.exec_cycles
+                        out.0.exec_cycles
                     );
-                    *slots[u].lock().expect("result slot poisoned") = Some(r);
+                    *slots[u].lock().expect("result slot poisoned") = Some(out);
                 });
             }
         });
@@ -212,18 +246,34 @@ impl<'w> Plan<'w> {
     }
 }
 
-/// Runs one cell, with the protocol invariant checker attached when
-/// `check` is set.
+/// Runs one cell, returning the host profile alongside the result (`Some`
+/// only when `spec.host` is on). Checked runs attach the protocol
+/// checker's tracer directly so the profile survives; the checker verdict
+/// evaluation is charged to the profile's `check_s` phase.
 ///
 /// # Panics
 ///
 /// Panics if the checker reports any violation (after printing the full
 /// report to stderr).
-pub(crate) fn run_cell(w: &dyn Workload, spec: &RunSpec, check: bool) -> RunResult {
+pub(crate) fn run_cell_full(
+    w: &dyn Workload,
+    spec: &RunSpec,
+    check: bool,
+) -> (RunResult, Option<HostProfileData>) {
     if !check {
-        return run(w, spec);
+        if !spec.host.is_on() {
+            return (run(w, spec), None);
+        }
+        let out = run_full(w, spec);
+        return (out.result, out.profile);
     }
-    let (r, report) = slipstream_check::run_checked(w, spec);
+    let (checker, tracer) = slipstream_check::ProtocolChecker::new();
+    let mut out = run_full_with_tracer(w, spec, tracer);
+    let check_started = std::time::Instant::now();
+    let report = checker.finish();
+    if let Some(p) = out.profile.as_mut() {
+        p.phases.check_s = check_started.elapsed().as_secs_f64();
+    }
     if !report.ok() {
         for v in &report.violations {
             eprintln!("{} {v}", w.name());
@@ -236,7 +286,7 @@ pub(crate) fn run_cell(w: &dyn Workload, spec: &RunSpec, check: bool) -> RunResu
             report.summary()
         );
     }
-    r
+    (out.result, out.profile)
 }
 
 #[cfg(test)]

@@ -12,7 +12,18 @@ use slipstream_prog::{Op, ProgramIter, Space};
 use crate::pdes::{NodePart, NodeRec, RecordingTracer, SamplePart, WireMsg};
 use crate::report::{RunResult, StreamReport};
 use crate::stream::{BlockKind, PairState, StreamExec, StreamState};
+use crate::telemetry::{Heartbeat, Histogram, QueueStats, QUEUE_SAMPLE_PERIOD};
 use crate::trace::{IntervalSample, TraceConfig, TraceData, TraceKind, TraceState};
+
+/// Serial-loop host-profiling state ([`crate::telemetry`]): queue-lane
+/// occupancy histograms plus the optional progress heartbeat. Boxed so
+/// the unprofiled machine carries one pointer.
+#[derive(Debug)]
+struct HostState {
+    ring: Histogram,
+    heap: Histogram,
+    heartbeat: Option<Heartbeat>,
+}
 
 /// Global simulation events: memory-system internals plus processor
 /// resumptions. `epoch` guards against stale resumes after an A-stream is
@@ -97,6 +108,11 @@ pub struct Machine {
     /// PDES record sink: machine-level trace events captured per node for
     /// the post-run deterministic merge. `None` on the serial path.
     pdes_sink: Option<Rc<RefCell<Vec<NodeRec>>>>,
+    /// Host-profiling state for the serial loop; `None` (the default)
+    /// costs the main loop one pointer-null check per event. PDES node
+    /// machines keep this `None` — the driver samples them at epoch
+    /// barriers instead.
+    host: Option<Box<HostState>>,
 }
 
 impl Machine {
@@ -168,6 +184,33 @@ impl Machine {
             inbox: Vec::new(),
             inbox_cursor: 0,
             pdes_sink: None,
+            host: None,
+        }
+    }
+
+    /// Enables host-side profiling for the serial loop: queue-occupancy
+    /// sampling every [`QUEUE_SAMPLE_PERIOD`] events and, when given, a
+    /// progress heartbeat. Strictly observational — results are
+    /// bit-identical with profiling on or off.
+    pub(crate) fn enable_host_profile(&mut self, heartbeat: Option<Heartbeat>) {
+        self.host = Some(Box::new(HostState {
+            ring: Histogram::new(),
+            heap: Histogram::new(),
+            heartbeat,
+        }));
+    }
+
+    /// Records one queue-occupancy sample and drives the heartbeat.
+    /// Out-of-line: the hot loop only pays the `is_some` check.
+    #[cold]
+    fn host_sample(&mut self) {
+        let ring = self.q.lane_len() as u64;
+        let heap = self.q.heap_len() as u64;
+        let h = self.host.as_mut().expect("host profiling enabled");
+        h.ring.record(ring);
+        h.heap.record(heap);
+        if let Some(hb) = h.heartbeat.as_mut() {
+            hb.maybe_beat(self.host_events);
         }
     }
 
@@ -186,7 +229,15 @@ impl Machine {
     /// collected [`TraceData`] when the machine was assembled with an
     /// enabled [`TraceConfig`]. The [`RunResult`] is bit-identical to an
     /// untraced run: tracing is observation only.
-    pub fn run_traced(mut self) -> (RunResult, Option<TraceData>) {
+    pub fn run_traced(self) -> (RunResult, Option<TraceData>) {
+        let (result, trace, _) = self.run_full();
+        (result, trace)
+    }
+
+    /// [`Machine::run_traced`] plus the host-profiler's queue statistics
+    /// when [`Machine::enable_host_profile`] was called (`None`
+    /// otherwise).
+    pub(crate) fn run_full(mut self) -> (RunResult, Option<TraceData>, Option<QueueStats>) {
         // A-streams start first: at equal timestamps the reduced stream
         // must get to run ahead, or an R-stream with an empty first session
         // would misread it as deviated before it ever executed.
@@ -203,6 +254,9 @@ impl Machine {
         let mut out: Vec<Completion> = Vec::new();
         while let Some((t, ev)) = self.q.pop() {
             self.host_events += 1;
+            if self.host.is_some() && self.host_events.is_multiple_of(QUEUE_SAMPLE_PERIOD) {
+                self.host_sample();
+            }
             if self.trace.as_ref().is_some_and(|ts| t >= ts.next_sample) {
                 self.take_samples(t, self.host_events);
             }
@@ -278,6 +332,13 @@ impl Machine {
                 exec_cycles,
             )
         });
+        let host_queue = self.host.take().map(|h| QueueStats {
+            total_pushed: self.q.total_pushed(),
+            heap_pushes: self.q.heap_pushes(),
+            high_water: self.q.high_water() as u64,
+            ring_occupancy: h.ring,
+            heap_occupancy: h.heap,
+        });
         let streams = self.stream_reports();
         let result = RunResult {
             name: self.name,
@@ -290,7 +351,7 @@ impl Machine {
             recoveries: self.recoveries,
             host_events,
         };
-        (result, trace)
+        (result, trace, host_queue)
     }
 
     fn stream_reports(&self) -> Vec<StreamReport> {
@@ -340,6 +401,18 @@ impl Machine {
                 self.q.push(Cycle::ZERO, Ev::Resume { stream: i, epoch: 0 });
             }
         }
+    }
+
+    /// Current two-lane queue depths `(ring, heap)`. The PDES driver
+    /// samples these at epoch barriers when host profiling is on.
+    pub(crate) fn queue_depths(&self) -> (usize, usize) {
+        (self.q.lane_len(), self.q.heap_len())
+    }
+
+    /// Host events executed so far. The PDES driver reads this between
+    /// epochs for heartbeat progress and per-epoch event counts.
+    pub(crate) fn host_events_so_far(&self) -> u64 {
+        self.host_events
     }
 
     /// The earliest pending work time on this node — the queue's next
@@ -505,6 +578,7 @@ impl Machine {
             host_events: self.host_events,
             queue_pushed: self.q.total_pushed(),
             queue_high_water: self.q.high_water(),
+            queue_heap_pushes: self.q.heap_pushes(),
             records,
         }
     }

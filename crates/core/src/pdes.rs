@@ -45,6 +45,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 use slipstream_kernel::config::{ArSyncMode, ExecMode, MachineConfig};
 use slipstream_kernel::{CpuId, Cycle, LineAddr, NodeId, TaskId};
@@ -58,6 +59,9 @@ use crate::machine::Machine;
 use crate::report::{RunResult, StreamReport};
 use crate::runner::RunSpec;
 use crate::stream::{PairState, StreamExec};
+use crate::telemetry::{
+    Heartbeat, Histogram, HostProfileData, QueueStats, WorkerStats,
+};
 use crate::trace::{IntervalSample, TraceConfig, TraceData, TraceKind, TraceState};
 use crate::workload::Workload;
 
@@ -281,7 +285,52 @@ pub(crate) struct NodePart {
     pub host_events: u64,
     pub queue_pushed: u64,
     pub queue_high_water: usize,
+    pub queue_heap_pushes: u64,
     pub records: Vec<NodeRec>,
+}
+
+/// Per-worker host-profiling state ([`crate::telemetry`]): wall-clock
+/// busy/wait split, per-epoch event and outbox histograms, and
+/// queue-occupancy samples taken at merge barriers. Exists only when
+/// `RunSpec::host` is on; the unprofiled worker loop pays one `Option`
+/// check per phase.
+struct WorkerProf {
+    stats: WorkerStats,
+    ring: Histogram,
+    heap: Histogram,
+    /// Host events across this worker's machines at the last epoch end.
+    prev_events: u64,
+    /// Wall-clock nanoseconds spent in `build_node_machines`.
+    build_ns: u64,
+    /// Start of the current busy/wait segment.
+    last: Instant,
+}
+
+impl WorkerProf {
+    fn new() -> WorkerProf {
+        WorkerProf {
+            stats: WorkerStats::default(),
+            ring: Histogram::new(),
+            heap: Histogram::new(),
+            prev_events: 0,
+            build_ns: 0,
+            last: Instant::now(),
+        }
+    }
+
+    /// Closes the current segment as busy (event execution / merging).
+    fn mark_busy(&mut self) {
+        let now = Instant::now();
+        self.stats.busy_ns += now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+    }
+
+    /// Closes the current segment as barrier wait.
+    fn mark_wait(&mut self) {
+        let now = Instant::now();
+        self.stats.wait_ns += now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+    }
 }
 
 /// One node's contribution to an interval sample, snapshotted at an epoch
@@ -443,7 +492,7 @@ pub(crate) fn run_pdes(
     cfg: MachineConfig,
     ntasks: usize,
     extra_tracer: Option<Box<dyn MemTracer>>,
-) -> (RunResult, Option<TraceData>) {
+) -> (RunResult, Option<TraceData>, Option<HostProfileData>) {
     let nodes = cfg.nodes as usize;
     assert!(cfg.lat.net >= 1, "parallel execution needs a positive network latency for lookahead");
     // The epoch window: at most the lookahead (network traversal), at
@@ -455,6 +504,8 @@ pub(crate) fn run_pdes(
     let want_records = spec.trace.enabled() || extra_tracer.is_some();
     let capture_access = spec.trace.enabled();
 
+    let profiling = spec.host.is_on();
+
     let barrier = Barrier::new(k);
     // Mailboxes indexed by destination node; workers append during the run
     // phase and the owner drains at the merge phase.
@@ -465,23 +516,48 @@ pub(crate) fn run_pdes(
     let done = AtomicBool::new(false);
     let sample_slots: Vec<Mutex<Option<SamplePart>>> =
         (0..nodes).map(|_| Mutex::new(None)).collect();
+    // Global progress counter for the heartbeat (profiled runs only):
+    // each worker adds its epoch's event count at the merge phase.
+    let events_done = AtomicU64::new(0);
 
-    type WorkerOut = (Vec<(usize, NodePart)>, Option<Vec<IntervalSample>>);
+    type WorkerOut = (
+        Vec<(usize, NodePart)>,
+        Option<Vec<IntervalSample>>,
+        Option<Box<WorkerProf>>,
+    );
+    let sim_started = profiling.then(Instant::now);
     let mut results: Vec<WorkerOut> = Vec::new();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..k)
             .map(|wi| {
-                let (barrier, mail, next_times, bound, done, sample_slots) =
-                    (&barrier, &mail, &next_times, &bound, &done, &sample_slots);
+                let (barrier, mail, next_times, bound, done, sample_slots, events_done) =
+                    (&barrier, &mail, &next_times, &bound, &done, &sample_slots, &events_done);
                 let cfg = &cfg;
                 s.spawn(move || -> WorkerOut {
                     let lo = nodes * wi / k;
                     let hi = nodes * (wi + 1) / k;
+                    let mut prof = profiling.then(|| Box::new(WorkerProf::new()));
                     let mut machines = build_node_machines(workload, spec, cfg, ntasks, lo, hi);
                     for m in machines.iter_mut() {
                         let sink = want_records.then(|| Rc::new(RefCell::new(Vec::new())));
                         m.pdes_start(sink, capture_access);
                     }
+                    if let Some(p) = prof.as_mut() {
+                        let now = Instant::now();
+                        p.build_ns = now.duration_since(p.last).as_nanos() as u64;
+                        p.last = now;
+                    }
+                    // The leader drives the opt-in heartbeat from the
+                    // advance phase, off the shared progress counter.
+                    let mut heartbeat = (profiling && wi == 0)
+                        .then(|| {
+                            Heartbeat::new(
+                                workload.name(),
+                                spec.host.heartbeat_secs,
+                                spec.host.expected_events,
+                            )
+                        })
+                        .flatten();
                     let mut send_seqs = vec![0u64; machines.len()];
                     let mut outbox: Vec<WireMsg> = Vec::new();
                     let mut arrivals: Vec<WireMsg> = Vec::new();
@@ -493,11 +569,27 @@ pub(crate) fn run_pdes(
                         // posting diverted sends to the receivers' mailboxes.
                         for (mi, m) in machines.iter_mut().enumerate() {
                             m.pdes_run_until(Cycle(b), &mut outbox, &mut send_seqs[mi]);
+                            if let Some(p) = prof.as_mut() {
+                                p.stats.outbox_len.record(outbox.len() as u64);
+                            }
                             for wmsg in outbox.drain(..) {
                                 mail[wmsg.msg.dst.idx()].lock().unwrap().push(wmsg);
                             }
                         }
+                        if let Some(p) = prof.as_mut() {
+                            let ev: u64 =
+                                machines.iter().map(|m| m.host_events_so_far()).sum();
+                            let delta = ev - p.prev_events;
+                            p.prev_events = ev;
+                            p.stats.events_per_epoch.record(delta);
+                            p.stats.epochs += 1;
+                            events_done.fetch_add(delta, Ordering::Relaxed);
+                            p.mark_busy();
+                        }
                         barrier.wait();
+                        if let Some(p) = prof.as_mut() {
+                            p.mark_wait();
+                        }
                         // Merge phase: fold arrivals into each owned node's
                         // inbox and report the earliest remaining work time.
                         let mut local_min = u64::MAX;
@@ -508,11 +600,19 @@ pub(crate) fn run_pdes(
                             if let Some(t) = m.pdes_next_time() {
                                 local_min = local_min.min(t.raw());
                             }
+                            if let Some(p) = prof.as_mut() {
+                                let (ring, heap) = m.queue_depths();
+                                p.ring.record(ring as u64);
+                                p.heap.record(heap as u64);
+                            }
                             if interval > 0 {
                                 *sample_slots[node].lock().unwrap() = Some(m.pdes_sample_part());
                             }
                         }
                         next_times[wi].store(local_min, Ordering::SeqCst);
+                        if let Some(p) = prof.as_mut() {
+                            p.mark_busy();
+                        }
                         barrier.wait();
                         // Advance phase: the leader opens the next epoch (or
                         // declares termination) and emits any interval
@@ -527,6 +627,9 @@ pub(crate) fn run_pdes(
                                 my_samples.push(merge_sample(next_sample, sample_slots));
                                 next_sample += interval;
                             }
+                            if let Some(hb) = heartbeat.as_mut() {
+                                hb.maybe_beat(events_done.load(Ordering::Relaxed));
+                            }
                             if min == u64::MAX {
                                 done.store(true, Ordering::SeqCst);
                             } else {
@@ -534,17 +637,23 @@ pub(crate) fn run_pdes(
                             }
                         }
                         barrier.wait();
+                        if let Some(p) = prof.as_mut() {
+                            p.mark_wait();
+                        }
                         if done.load(Ordering::SeqCst) {
                             break;
                         }
                         b = bound.load(Ordering::SeqCst);
+                    }
+                    if let Some(p) = prof.as_mut() {
+                        p.stats.events = p.prev_events;
                     }
                     let parts = machines
                         .into_iter()
                         .enumerate()
                         .map(|(mi, m)| (lo + mi, m.pdes_finish()))
                         .collect();
-                    (parts, (wi == 0).then_some(my_samples))
+                    (parts, (wi == 0).then_some(my_samples), prof)
                 })
             })
             .collect();
@@ -556,15 +665,20 @@ pub(crate) fn run_pdes(
             })
             .collect();
     });
+    let simulate_s = sim_started.map_or(0.0, |t| t.elapsed().as_secs_f64());
 
     let mut slots: Vec<Option<NodePart>> = (0..nodes).map(|_| None).collect();
     let mut samples: Vec<IntervalSample> = Vec::new();
-    for (list, s) in results {
+    let mut profs: Vec<Box<WorkerProf>> = Vec::new();
+    for (list, s, p) in results {
         for (node, part) in list {
             slots[node] = Some(part);
         }
         if let Some(s) = s {
             samples = s;
+        }
+        if let Some(p) = p {
+            profs.push(p);
         }
     }
     let mut parts: Vec<NodePart> =
@@ -578,6 +692,7 @@ pub(crate) fn run_pdes(
     let mut host_events = 0u64;
     let mut queue_pushed = 0u64;
     let mut queue_high_water = 0usize;
+    let mut queue_heap_pushes = 0u64;
     for p in parts.iter_mut() {
         stats.accumulate(&p.stats);
         streams.append(&mut p.streams);
@@ -585,6 +700,7 @@ pub(crate) fn run_pdes(
         host_events += p.host_events;
         queue_pushed += p.queue_pushed;
         queue_high_water = queue_high_water.max(p.queue_high_water);
+        queue_heap_pushes += p.queue_heap_pushes;
     }
     let exec_cycles = streams
         .iter()
@@ -664,6 +780,46 @@ pub(crate) fn run_pdes(
         }
     }
 
+    // Engine-level host profile: per-worker busy/wait plus merged queue
+    // traffic. Phase attribution: machine construction happens inside the
+    // worker threads, so `build_s` (the slowest worker's build) overlaps
+    // `simulate_s` (the wall clock of the whole parallel section). The
+    // runner fills in resources afterwards.
+    let profile = if profiling {
+        let mut queue = QueueStats {
+            total_pushed: queue_pushed,
+            heap_pushes: queue_heap_pushes,
+            high_water: queue_high_water as u64,
+            ring_occupancy: Histogram::new(),
+            heap_occupancy: Histogram::new(),
+        };
+        let mut workers = Vec::with_capacity(profs.len());
+        let mut build_ns = 0u64;
+        for p in profs {
+            queue.ring_occupancy.merge(&p.ring);
+            queue.heap_occupancy.merge(&p.heap);
+            build_ns = build_ns.max(p.build_ns);
+            workers.push(p.stats);
+        }
+        Some(HostProfileData {
+            engine: "pdes",
+            threads: spec.threads,
+            nodes: cfg.nodes,
+            events: host_events,
+            sim_cycles: exec_cycles,
+            phases: crate::telemetry::PhaseTimes {
+                build_s: build_ns as f64 / 1e9,
+                simulate_s,
+                ..Default::default()
+            },
+            workers,
+            queue,
+            resources: Vec::new(),
+        })
+    } else {
+        None
+    };
+
     let result = RunResult {
         name: workload.name().to_string(),
         mode: spec.mode,
@@ -675,5 +831,5 @@ pub(crate) fn run_pdes(
         recoveries,
         host_events,
     };
-    (result, trace)
+    (result, trace, profile)
 }

@@ -6,6 +6,7 @@ use slipstream_prog::{InstanceId, Layout};
 use crate::machine::Machine;
 use crate::report::RunResult;
 use crate::stream::{PairState, StreamExec};
+use crate::telemetry::{HostProfile, HostProfileData};
 use crate::trace::{TraceConfig, TraceData};
 use crate::workload::Workload;
 
@@ -49,6 +50,10 @@ pub struct RunSpec {
     /// full lookahead. Smaller windows add barriers but cannot change
     /// results; the knob exists for the epoch-boundary stress tests.
     pub epoch_window: Option<u64>,
+    /// Host-side self-profiling (see [`crate::telemetry`]). Default: off,
+    /// zero collection cost; profiled runs are bit-identical to
+    /// unprofiled ones.
+    pub host: HostProfile,
 }
 
 impl RunSpec {
@@ -66,6 +71,7 @@ impl RunSpec {
             fastpath: true,
             threads: 0,
             epoch_window: None,
+            host: HostProfile::default(),
         }
     }
 
@@ -106,6 +112,12 @@ impl RunSpec {
         self.fastpath = fastpath;
         self
     }
+
+    /// Enables host-side self-profiling (see [`crate::telemetry`]).
+    pub fn with_host_profile(mut self, host: HostProfile) -> RunSpec {
+        self.host = host;
+        self
+    }
 }
 
 /// Runs `workload` under `spec` and returns the measurements.
@@ -128,7 +140,8 @@ pub fn run(workload: &dyn Workload, spec: &RunSpec) -> RunResult {
 /// `spec.trace` enables any collection (`None` otherwise). The
 /// [`RunResult`] is bit-identical either way: tracing only observes.
 pub fn run_traced(workload: &dyn Workload, spec: &RunSpec) -> (RunResult, Option<TraceData>) {
-    run_inner(workload, spec, None)
+    let out = run_inner(workload, spec, None);
+    (out.result, out.trace)
 }
 
 /// Like [`run`], but installs `tracer` as an additional [`MemTracer`] for
@@ -142,14 +155,46 @@ pub fn run_with_tracer(
     spec: &RunSpec,
     tracer: Box<dyn slipstream_mem::MemTracer>,
 ) -> RunResult {
-    run_inner(workload, spec, Some(tracer)).0
+    run_inner(workload, spec, Some(tracer)).result
+}
+
+/// Everything one run can produce: the measurements, the optional trace,
+/// and the optional host profile ([`crate::telemetry`]). `trace` is
+/// `Some` iff `spec.trace` enables collection; `profile` is `Some` iff
+/// `spec.host` is on. The [`RunResult`] is bit-identical no matter which
+/// of the two observers are attached.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The run's measurements.
+    pub result: RunResult,
+    /// Collected trace data, when `spec.trace` enabled any.
+    pub trace: Option<TraceData>,
+    /// The host profile, when `spec.host` is on.
+    pub profile: Option<HostProfileData>,
+}
+
+/// Runs `workload` under `spec` and returns measurements, trace, and
+/// host profile together (see [`RunOutput`]).
+pub fn run_full(workload: &dyn Workload, spec: &RunSpec) -> RunOutput {
+    run_inner(workload, spec, None)
+}
+
+/// [`run_full`] with an additional caller-supplied [`MemTracer`] attached
+/// for the duration of the run (the combination the protocol checker
+/// needs to observe a profiled run).
+pub fn run_full_with_tracer(
+    workload: &dyn Workload,
+    spec: &RunSpec,
+    tracer: Box<dyn slipstream_mem::MemTracer>,
+) -> RunOutput {
+    run_inner(workload, spec, Some(tracer))
 }
 
 fn run_inner(
     workload: &dyn Workload,
     spec: &RunSpec,
     extra_tracer: Option<Box<dyn slipstream_mem::MemTracer>>,
-) -> (RunResult, Option<TraceData>) {
+) -> RunOutput {
     let mut cfg = spec.machine.clone().unwrap_or_else(|| {
         if workload.small_l2() {
             MachineConfig::water(spec.nodes)
@@ -163,8 +208,15 @@ fn run_inner(
         ExecMode::Double => spec.nodes as usize * 2,
     };
     if spec.threads >= 1 {
-        return crate::pdes::run_pdes(workload, spec, cfg, ntasks, extra_tracer);
+        let (result, trace, mut profile) =
+            crate::pdes::run_pdes(workload, spec, cfg, ntasks, extra_tracer);
+        if let Some(p) = profile.as_mut() {
+            p.fill_resources(&result);
+        }
+        return RunOutput { result, trace, profile };
     }
+    // Build-phase wall clock, measured only on profiled runs.
+    let build_started = spec.host.is_on().then(std::time::Instant::now);
     let mut layout = Layout::with_page_size(cfg.page_bytes);
     let builder = workload.instantiate(ntasks, &mut layout);
 
@@ -240,7 +292,7 @@ fn run_inner(
     let mut mem = MemSystem::new(&cfg, home, ntasks as u32);
     mem.set_si_interval(spec.slip.si_interval.max(1));
 
-    Machine::assemble(
+    let mut machine = Machine::assemble(
         workload.name().to_string(),
         cfg,
         spec.slip,
@@ -254,8 +306,43 @@ fn run_inner(
         spec.trace,
         spec.fastpath,
         extra_tracer,
-    )
-    .run_traced()
+    );
+    if spec.host.is_on() {
+        machine.enable_host_profile(crate::telemetry::Heartbeat::new(
+            workload.name(),
+            spec.host.heartbeat_secs,
+            spec.host.expected_events,
+        ));
+    }
+    let build_s = build_started.map_or(0.0, |t| t.elapsed().as_secs_f64());
+    let sim_started = spec.host.is_on().then(std::time::Instant::now);
+    let (result, trace, host_queue) = machine.run_full();
+    let profile = host_queue.map(|queue| {
+        let simulate_s = sim_started.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        let simulate_ns = (simulate_s * 1e9) as u64;
+        let mut p = HostProfileData {
+            engine: "serial",
+            threads: 0,
+            nodes: spec.nodes,
+            events: result.host_events,
+            sim_cycles: result.exec_cycles,
+            phases: crate::telemetry::PhaseTimes {
+                build_s,
+                simulate_s,
+                ..Default::default()
+            },
+            workers: vec![crate::telemetry::WorkerStats {
+                busy_ns: simulate_ns,
+                events: result.host_events,
+                ..Default::default()
+            }],
+            queue,
+            resources: Vec::new(),
+        };
+        p.fill_resources(&result);
+        p
+    });
+    RunOutput { result, trace, profile }
 }
 
 /// Runs the sequential baseline: the whole problem as one task on a

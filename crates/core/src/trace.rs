@@ -894,6 +894,25 @@ pub fn run_result_json(r: &RunResult) -> String {
     class(&mut out, &m.class.reads);
     out.push_str(",\"excl\":");
     class(&mut out, &m.class.excl);
+    out.push('}');
+    // Contention-server occupancy, summed over nodes; utilization is
+    // against exec_cycles * nodes (one server instance per node).
+    out.push_str(",\"contention\":{");
+    let total = r.exec_cycles.saturating_mul(r.nodes as u64);
+    for (i, (name, u)) in m.contention.named().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{name}\":{{\"busy_cycles\":{},\"jobs\":{},\"wait_cycles\":{},\
+             \"utilization\":{:.4}}}",
+            u.busy_cycles,
+            u.jobs,
+            u.wait_cycles,
+            u.utilization(total)
+        );
+    }
     out.push_str("}}}");
     out
 }

@@ -45,6 +45,6 @@ mod trace;
 pub use classify::{ClassCounts, RequestClass};
 pub use home::HomeMap;
 pub use msg::{AccessKind, Completion, MemEvent, Msg, StreamRole, SyncOp, Token};
-pub use stats::MemStats;
+pub use stats::{ContentionStats, MemStats, ResourceUse};
 pub use system::{Access, MemSched, MemSystem};
 pub use trace::{AccessOutcome, FanoutTracer, MemTracer, TracePerm};

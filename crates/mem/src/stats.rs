@@ -1,5 +1,71 @@
 use crate::classify::RequestClass;
 
+/// Occupancy counters for one FIFO contention server, summed over all
+/// nodes. Cycles are simulated cycles, so these are deterministic and
+/// identical between the serial and parallel engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceUse {
+    /// Total simulated cycles the resource spent serving jobs.
+    pub busy_cycles: u64,
+    /// Jobs served.
+    pub jobs: u64,
+    /// Total cycles jobs spent queued behind earlier jobs.
+    pub wait_cycles: u64,
+}
+
+impl ResourceUse {
+    fn accumulate(&mut self, o: &ResourceUse) {
+        self.busy_cycles += o.busy_cycles;
+        self.jobs += o.jobs;
+        self.wait_cycles += o.wait_cycles;
+    }
+
+    /// Busy cycles as a fraction of `total_cycles` (0 when the run is
+    /// empty). With N nodes each resource has N instances, so the
+    /// meaningful denominator is `exec_cycles * nodes`.
+    pub fn utilization(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / total_cycles as f64
+        }
+    }
+}
+
+/// Per-resource contention totals: where simulated requests queued.
+/// Populated by [`crate::MemSystem::finalize`] from the per-node
+/// [`slipstream_kernel::Server`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContentionStats {
+    /// Directory controller occupancy.
+    pub dir_ctl: ResourceUse,
+    /// Network ingress port.
+    pub net_in: ResourceUse,
+    /// Network egress port.
+    pub net_out: ResourceUse,
+    /// Memory bank.
+    pub mem_bank: ResourceUse,
+}
+
+impl ContentionStats {
+    fn accumulate(&mut self, o: &ContentionStats) {
+        self.dir_ctl.accumulate(&o.dir_ctl);
+        self.net_in.accumulate(&o.net_in);
+        self.net_out.accumulate(&o.net_out);
+        self.mem_bank.accumulate(&o.mem_bank);
+    }
+
+    /// `(name, use)` pairs in a fixed report order.
+    pub fn named(&self) -> [(&'static str, &ResourceUse); 4] {
+        [
+            ("dir_ctl", &self.dir_ctl),
+            ("net_in", &self.net_in),
+            ("net_out", &self.net_out),
+            ("mem_bank", &self.mem_bank),
+        ]
+    }
+}
+
 /// Aggregate memory-system statistics for one simulation run.
 ///
 /// Combines hit/miss counters, network traffic, the Figure 7 request
@@ -57,6 +123,8 @@ pub struct MemStats {
     pub net_messages: u64,
     /// Figure 7 classification of shared-data requests.
     pub class: RequestClass,
+    /// Per-resource contention (filled in at finalize).
+    pub contention: ContentionStats,
 }
 
 impl MemStats {
@@ -88,6 +156,7 @@ impl MemStats {
         self.net_messages += o.net_messages;
         self.class.reads += o.class.reads;
         self.class.excl += o.class.excl;
+        self.contention.accumulate(&o.contention);
     }
 
     /// Total data accesses that reached the memory system. Every access

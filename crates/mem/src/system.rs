@@ -1738,8 +1738,23 @@ impl MemSystem {
     // ------------------------------------------------------------------
 
     /// Closes all open request classifications (call once, at the end of a
-    /// run, before reading [`MemStats::class`]). Empties the caches.
+    /// run, before reading [`MemStats::class`]). Empties the caches and
+    /// folds the per-node contention-server counters into
+    /// [`MemStats::contention`].
     pub fn finalize(&mut self) {
+        for st in &self.nodes {
+            let c = &mut self.stats.contention;
+            for (server, res) in [
+                (&st.dc, &mut c.dir_ctl),
+                (&st.port_in, &mut c.net_in),
+                (&st.port_out, &mut c.net_out),
+                (&st.mem_bank, &mut c.mem_bank),
+            ] {
+                res.busy_cycles += server.busy_cycles();
+                res.jobs += server.jobs();
+                res.wait_cycles += server.wait_cycles();
+            }
+        }
         for st in &mut self.nodes {
             for entry in st.l2.drain_all() {
                 if let Some(op) = entry.open_read {
