@@ -16,10 +16,12 @@
 //!   --threads K       run the matrix on K intra-run workers (the
 //!                     conservative parallel engine; default 0 = serial)
 //!   --scaling         also measure the parallel-engine scaling matrix
-//!                     (events/sec vs worker count at 16/64/128 nodes) and
-//!                     record it under "scaling" in the JSON; every scaling
-//!                     row also does one untimed profiled run to record its
-//!                     worker-imbalance ratio
+//!                     (events/sec vs worker count at 16/64/128/256 nodes)
+//!                     and record it under "scaling" in the JSON; rows that
+//!                     would oversubscribe the host (sim threads > host
+//!                     cpus) are skipped, and every kept row does one
+//!                     untimed profiled run to record its worker-imbalance
+//!                     ratio
 //!   --compare PATH    re-measure and compare events/sec against a baseline
 //!                     JSON written by this tool; exits nonzero if any run
 //!                     (or the total) regresses by more than the tolerance.
@@ -136,9 +138,20 @@ fn scaling_matrix(iters: u32, profiles: &mut Vec<(String, HostProfileData)>) -> 
         .into_iter()
         .find(|w| w.name().eq_ignore_ascii_case("SOR"))
         .expect("quick suite has SOR");
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut rows = Vec::new();
-    for nodes in [16u16, 64, 128] {
+    for nodes in [16u16, 64, 128, 256] {
         for threads in [1u16, 2, 4, 8] {
+            // Oversubscribed rows (more PDES workers than host cpus) time
+            // scheduler thrash, not engine scaling; skip them so the
+            // recorded matrix only holds meaningful points.
+            if usize::from(threads) > host_cpus {
+                host_note!(
+                    "  [skipping sor @{nodes} CMPs x{threads} workers: host has {host_cpus} \
+                     cpu(s); oversubscribed rows measure scheduling noise, not PDES scaling]"
+                );
+                continue;
+            }
             let spec = RunSpec::new(nodes, ExecMode::Slipstream).with_threads(threads);
             let mut result: RunResult = run(workload.as_ref(), &spec);
             let mut wall_s = f64::INFINITY;

@@ -337,6 +337,42 @@ pub fn write_host_profile_json(dir: &str, runs: &[(String, &HostProfileData)]) -
     path
 }
 
+/// A workload re-labelled with a distinct name.
+///
+/// The run cache ([`Runner`]) and plan dedup ([`Plan`]) identify
+/// simulations by `(name, spec)`; a study that varies the *problem size*
+/// of one workload (e.g. `fig_scaling`'s weak-scaled SOR) wraps each size
+/// so differently-sized runs never collide in the cache.
+pub struct Renamed<W: Workload> {
+    name: String,
+    inner: W,
+}
+
+impl<W: Workload> Renamed<W> {
+    /// Wraps `inner` under `name`.
+    pub fn new(name: impl Into<String>, inner: W) -> Renamed<W> {
+        Renamed { name: name.into(), inner }
+    }
+}
+
+impl<W: Workload> Workload for Renamed<W> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn small_l2(&self) -> bool {
+        self.inner.small_l2()
+    }
+
+    fn instantiate(
+        &self,
+        ntasks: usize,
+        layout: &mut slipstream_prog::Layout,
+    ) -> slipstream_core::TaskBuilderFn {
+        self.inner.instantiate(ntasks, layout)
+    }
+}
+
 /// Prints a row of `f64` cells after a left-justified label.
 pub fn print_row(label: &str, cells: &[f64]) {
     print!("{label:<12}");

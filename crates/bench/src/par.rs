@@ -49,6 +49,10 @@ pub struct RunKey {
     /// results, but figure binaries use one uniform `K`, so no dedup is
     /// lost by keeping the exact value.
     pub threads: u16,
+    /// Directory scheme override, if any (`None` keeps the machine's
+    /// default full-map directory). Limited-pointer runs change protocol
+    /// traffic, so they must never dedup against full-map runs.
+    pub dir_scheme: Option<slipstream_core::DirScheme>,
 }
 
 impl RunKey {
@@ -63,6 +67,7 @@ impl RunKey {
             quantum_cycles: spec.quantum_cycles,
             input_cycles: spec.input_cycles,
             threads: spec.threads,
+            dir_scheme: spec.dir_scheme,
         }
     }
 }

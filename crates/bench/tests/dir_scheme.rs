@@ -1,0 +1,177 @@
+//! Differential tests for the directory-scheme knob (`DirScheme`).
+//!
+//! The `SharerSet` refactor replaced the directory's raw `u128` sharer
+//! bit-vectors; these tests pin its three guarantees:
+//!
+//! 1. the default full-map scheme is bit-identical to the pre-refactor
+//!    simulator (exec_cycles pinned from the committed benchmark matrix,
+//!    quick suite x 4 modes x threads {0, 2});
+//! 2. a limited-pointer directory whose budget is never exceeded is
+//!    bit-identical to full-map (the scheme only diverges on overflow);
+//! 3. an overflowing limited-pointer directory diverges (broadcast
+//!    invalidations appear) while still satisfying every coherence
+//!    invariant, and >128-node machines — impossible before the refactor —
+//!    run to completion under the checker.
+
+use slipstream_core::{
+    run, run_full_with_tracer, ArSyncMode, DirScheme, ExecMode, RunResult, RunSpec,
+    SlipstreamConfig, Workload,
+};
+use slipstream_workloads::{by_name, quick_suite, Sor};
+
+/// The four execution modes of the benchmark matrix (`bench_sim`'s
+/// `cases`), at `nodes` CMPs.
+fn mode_spec(mode: &str, nodes: u16) -> RunSpec {
+    match mode {
+        "single" => RunSpec::new(nodes, ExecMode::Single),
+        "double" => RunSpec::new(nodes, ExecMode::Double),
+        "slipstream" => RunSpec::new(nodes, ExecMode::Slipstream),
+        "slipstream+si" => RunSpec::new(nodes, ExecMode::Slipstream)
+            .with_slip(SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal)),
+        other => panic!("unknown mode {other}"),
+    }
+}
+
+/// Simulated cycle counts of the quick benchmark matrix *before* the
+/// `SharerSet` refactor: the serial engine's values as committed in
+/// BENCH_sim.json, and the parallel engine's (threads = 2) as measured on
+/// the pre-refactor tree. (The two engines differ slightly in event
+/// interleaving, so each is pinned separately.) The default directory
+/// scheme must keep reproducing both exactly.
+const PRE_REFACTOR_EXEC_CYCLES: &[(&str, &str, u64, u64)] = &[
+    ("CG", "single", 308223, 309735),
+    ("FFT", "single", 796684, 795316),
+    ("LU", "single", 1085819, 1085819),
+    ("MG", "single", 328802, 328852),
+    ("OCEAN", "single", 1546373, 1546373),
+    ("SOR", "single", 1075354, 1075354),
+    ("SP", "single", 385842, 384738),
+    ("WATER-NS", "single", 1018265, 1020861),
+    ("WATER-SP", "single", 526484, 526504),
+    ("CG", "double", 266232, 268520),
+    ("FFT", "double", 604526, 605858),
+    ("LU", "double", 751761, 751847),
+    ("MG", "double", 214914, 214884),
+    ("OCEAN", "double", 1248059, 1248109),
+    ("SOR", "double", 737942, 737942),
+    ("SP", "double", 228763, 228057),
+    ("WATER-NS", "double", 769025, 767118),
+    ("WATER-SP", "double", 316776, 316776),
+    ("CG", "slipstream", 271633, 272230),
+    ("FFT", "slipstream", 480734, 483222),
+    ("LU", "slipstream", 1040903, 1041063),
+    ("MG", "slipstream", 259540, 276882),
+    ("OCEAN", "slipstream", 1443472, 1443472),
+    ("SOR", "slipstream", 939475, 939475),
+    ("SP", "slipstream", 344539, 345961),
+    ("WATER-NS", "slipstream", 1068603, 1066619),
+    ("WATER-SP", "slipstream", 573864, 573800),
+    ("CG", "slipstream+si", 286973, 285845),
+    ("FFT", "slipstream+si", 465337, 462500),
+    ("LU", "slipstream+si", 1028348, 1028388),
+    ("MG", "slipstream+si", 319350, 319536),
+    ("OCEAN", "slipstream+si", 1437977, 1437917),
+    ("SOR", "slipstream+si", 959855, 959855),
+    ("SP", "slipstream+si", 332371, 331957),
+    ("WATER-NS", "slipstream+si", 997512, 999416),
+    ("WATER-SP", "slipstream+si", 573895, 573841),
+];
+
+/// The default (full-map) scheme reproduces the pre-refactor simulated
+/// cycle counts bit-for-bit, on both the serial and the parallel engine.
+#[test]
+fn default_scheme_reproduces_pre_refactor_results() {
+    for &(name, mode, serial_cycles, parallel_cycles) in PRE_REFACTOR_EXEC_CYCLES {
+        let w = by_name(name, true).expect("quick suite workload");
+        for (threads, cycles) in [(0u16, serial_cycles), (2, parallel_cycles)] {
+            let spec = mode_spec(mode, 4).with_threads(threads);
+            let r = run(w.as_ref(), &spec);
+            assert_eq!(
+                r.exec_cycles, cycles,
+                "{name} {mode} threads={threads}: default scheme diverged from pre-refactor"
+            );
+        }
+    }
+}
+
+/// Everything the simulation reports, compared field by field (the
+/// `RunResult` types all derive `PartialEq`).
+fn assert_results_identical(a: &RunResult, b: &RunResult, ctx: &str) {
+    assert_eq!(a.exec_cycles, b.exec_cycles, "{ctx}: exec_cycles");
+    assert_eq!(a.mem, b.mem, "{ctx}: memory statistics");
+    assert_eq!(a.streams, b.streams, "{ctx}: stream reports");
+    assert_eq!(a.recoveries, b.recoveries, "{ctx}: recoveries");
+    assert_eq!(a.host_events, b.host_events, "{ctx}: host events");
+}
+
+/// A limited-pointer directory whose budget can never overflow (more
+/// pointers than nodes) produces the full `RunResult` of the full-map
+/// default — the representation change alone is invisible.
+#[test]
+fn unoverflowed_limited_pointer_matches_full_map() {
+    let lp = DirScheme::limited(u8::MAX);
+    for w in quick_suite() {
+        for mode in ["single", "slipstream+si"] {
+            for threads in [0u16, 2] {
+                let spec = mode_spec(mode, 4).with_threads(threads);
+                let a = run(w.as_ref(), &spec);
+                let b = run(w.as_ref(), &spec.clone().with_dir_scheme(lp));
+                let ctx = format!("{} {mode} threads={threads}", w.name());
+                assert_results_identical(&a, &b, &ctx);
+            }
+        }
+    }
+}
+
+/// Runs `spec` with the coherence invariant checker attached, panicking
+/// on any violation.
+fn run_checked(w: &dyn Workload, spec: &RunSpec) -> RunResult {
+    let (checker, tracer) = slipstream_check::ProtocolChecker::new();
+    let out = run_full_with_tracer(w, spec, tracer);
+    let report = checker.finish();
+    assert!(
+        report.ok(),
+        "{} {:?}: checker rejected the run: {}",
+        w.name(),
+        spec.mode,
+        report.summary()
+    );
+    out.result
+}
+
+/// A 1-pointer directory on a sharing-heavy workload overflows: broadcast
+/// invalidations appear and traffic diverges from full-map, yet every
+/// coherence invariant still holds under the checker.
+#[test]
+fn overflowing_limited_pointer_diverges_but_stays_coherent() {
+    let w = by_name("SOR", true).expect("quick SOR");
+    let spec = RunSpec::new(8, ExecMode::Single);
+    let full = run(w.as_ref(), &spec);
+    let lp = run_checked(w.as_ref(), &spec.clone().with_dir_scheme(DirScheme::limited(1)));
+    assert!(
+        lp.mem.broadcast_invalidations > 0,
+        "1-pointer SOR at 8 nodes should overflow into broadcasts"
+    );
+    assert!(
+        lp.mem.invalidations_sent > full.mem.invalidations_sent,
+        "broadcasts should send more invalidations than the precise sharer list"
+    );
+    assert_eq!(full.mem.broadcast_invalidations, 0, "full-map never broadcasts");
+}
+
+/// A 256-node machine — beyond the old 128-bit sharer-mask cap — runs to
+/// completion under the coherence checker on both engines. (The engines
+/// interleave events slightly differently, so their simulated results are
+/// each deterministic but not compared to each other.)
+#[test]
+fn machine_with_256_nodes_runs_checked() {
+    let w = Sor::quick(); // 256 rows: one per node
+    let si = SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal);
+    for threads in [0u16, 2] {
+        let spec = RunSpec::new(256, ExecMode::Slipstream).with_slip(si).with_threads(threads);
+        let r = run_checked(&w, &spec);
+        assert_eq!(r.nodes, 256, "threads={threads}");
+        assert!(r.exec_cycles > 0, "threads={threads}");
+        assert_eq!(r, run_checked(&w, &spec), "threads={threads}: run is not deterministic");
+    }
+}

@@ -31,7 +31,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use slipstream_core::{RunResult, RunSpec, Workload};
-use slipstream_kernel::{Cycle, FxHashMap, LineAddr, NodeId};
+use slipstream_kernel::{Cycle, FxHashMap, LineAddr, NodeId, SharerSet};
 use slipstream_mem::{MemTracer, TracePerm};
 
 use crate::diag::json_escape;
@@ -214,16 +214,16 @@ impl CheckReport {
 }
 
 /// Per-line shadow of which nodes actually hold copies.
-#[derive(Default, Clone, Copy)]
+#[derive(Default, Clone)]
 struct Copies {
     /// Node holding the line exclusively, if any.
     excl: Option<u16>,
-    /// Bit per node: coherent shared copies.
-    shared: u128,
-    /// Bit per node: transparent (coherence-invisible) copies. Transparent
+    /// Nodes with coherent shared copies.
+    shared: SharerSet,
+    /// Nodes with transparent (coherence-invisible) copies. Transparent
     /// fills the L2 drops are still recorded (over-approximation): stale
     /// bits only ever suppress PC009, never create a violation.
-    transparent: u128,
+    transparent: SharerSet,
 }
 
 const MAX_VIOLATIONS: usize = 100;
@@ -240,10 +240,6 @@ struct ProtoState {
     violations: Vec<Violation>,
     suppressed: u64,
     counts: CheckCounts,
-}
-
-fn bit(node: NodeId) -> u128 {
-    1u128 << node.0
 }
 
 impl ProtoState {
@@ -269,40 +265,34 @@ impl ProtoState {
     }
 
     fn shadow_dir(&self, line: LineAddr) -> TracePerm {
-        self.dir.get(&line.0).copied().unwrap_or(TracePerm::Uncached)
+        self.dir.get(&line.0).cloned().unwrap_or(TracePerm::Uncached)
     }
 
     fn fill(&mut self, now: Cycle, node: NodeId, line: LineAddr, excl: bool, transparent: bool) {
         self.counts.fills += 1;
         let c = self.copies.entry(line.0).or_default();
         if transparent {
-            c.transparent |= bit(node);
+            c.transparent.insert(node);
             return;
         }
         if excl {
-            let foreign_shared = c.shared & !bit(node);
+            let foreign_shared = c.shared.any_except(node);
             let foreign_excl = c.excl.filter(|&o| o != node.0);
-            if foreign_shared != 0 || foreign_excl.is_some() {
-                let c = *c;
-                self.report(
-                    ProtoRule::Swmr,
-                    now,
-                    Some(line),
-                    Some(node),
-                    format!(
-                        "exclusive fill while other coherent copies exist \
-                         (excl={:?}, shared={:#b})",
-                        c.excl, c.shared
-                    ),
+            if foreign_shared || foreign_excl.is_some() {
+                let msg = format!(
+                    "exclusive fill while other coherent copies exist \
+                     (excl={:?}, shared={:?})",
+                    c.excl, c.shared
                 );
+                self.report(ProtoRule::Swmr, now, Some(line), Some(node), msg);
                 let c = self.copies.entry(line.0).or_default();
-                c.shared = 0;
+                c.shared.clear();
                 c.excl = None;
             }
             let c = self.copies.entry(line.0).or_default();
             c.excl = Some(node.0);
-            c.shared &= !bit(node);
-            c.transparent &= !bit(node);
+            c.shared.remove(node);
+            c.transparent.remove(node);
         } else {
             if let Some(o) = c.excl.filter(|&o| o != node.0) {
                 self.report(
@@ -317,8 +307,8 @@ impl ProtoState {
             if c.excl == Some(node.0) {
                 c.excl = None; // defensive resync; a hit would not have missed
             }
-            c.shared |= bit(node);
-            c.transparent &= !bit(node);
+            c.shared.insert(node);
+            c.transparent.remove(node);
         }
     }
 
@@ -328,13 +318,13 @@ impl ProtoState {
         if transparent {
             // Dropped transparent fills leave stale shadow bits, so absence
             // is not reportable; presence is simply cleared.
-            c.transparent &= !bit(node);
+            c.transparent.remove(node);
             return;
         }
         if c.excl == Some(node.0) {
             c.excl = None;
-        } else if c.shared & bit(node) != 0 {
-            c.shared &= !bit(node);
+        } else if c.shared.contains(node) {
+            c.shared.remove(node);
             if dirty {
                 self.report(
                     ProtoRule::CopyShadow,
@@ -357,12 +347,13 @@ impl ProtoState {
 
     fn l2_invalidate(&mut self, now: Cycle, node: NodeId, line: LineAddr) {
         let c = self.copies.entry(line.0).or_default();
-        let had = c.excl == Some(node.0) || c.shared & bit(node) != 0 || c.transparent & bit(node) != 0;
+        let had =
+            c.excl == Some(node.0) || c.shared.contains(node) || c.transparent.contains(node);
         if c.excl == Some(node.0) {
             c.excl = None;
         }
-        c.shared &= !bit(node);
-        c.transparent &= !bit(node);
+        c.shared.remove(node);
+        c.transparent.remove(node);
         if !had {
             self.report(
                 ProtoRule::CopyShadow,
@@ -378,7 +369,7 @@ impl ProtoState {
         let c = self.copies.entry(line.0).or_default();
         if c.excl == Some(node.0) {
             c.excl = None;
-            c.shared |= bit(node);
+            c.shared.insert(node);
         } else {
             self.report(
                 ProtoRule::CopyShadow,
@@ -394,13 +385,13 @@ impl ProtoState {
         &mut self,
         now: Cycle,
         line: LineAddr,
-        from: TracePerm,
-        to: TracePerm,
+        from: &TracePerm,
+        to: &TracePerm,
         requester: NodeId,
     ) {
         self.counts.dir_transitions += 1;
         let shadow = self.shadow_dir(line);
-        if shadow != from {
+        if shadow != *from {
             self.report(
                 ProtoRule::DirShadow,
                 now,
@@ -409,17 +400,19 @@ impl ProtoState {
                 format!("directory pre-state {from:?} disagrees with shadow {shadow:?}"),
             );
         }
-        if to == TracePerm::Uncached {
+        if matches!(to, TracePerm::Uncached) {
             self.dir.remove(&line.0);
         } else {
-            self.dir.insert(line.0, to);
+            self.dir.insert(line.0, to.clone());
         }
     }
 
     fn invalidation(&mut self, now: Cycle, line: LineAddr, target: NodeId) {
         self.counts.coherence_msgs += 1;
         match self.shadow_dir(line) {
-            TracePerm::Shared { sharers } if sharers & bit(target) != 0 => {}
+            // Under limited-pointer overflow the directory broadcasts, so
+            // any target is legitimate.
+            TracePerm::Shared { sharers, overflow } if overflow || sharers.contains(target) => {}
             other => self.report(
                 ProtoRule::MsgTarget,
                 now,
@@ -532,11 +525,16 @@ impl ProtoState {
         let lines_tracked = lines.len();
         for l in lines {
             let dir = self.shadow_dir(LineAddr(l));
-            let c = self.copies.get(&l).copied().unwrap_or_default();
-            let consistent = match dir {
-                TracePerm::Uncached => c.excl.is_none() && c.shared == 0,
-                TracePerm::Shared { sharers } => c.excl.is_none() && c.shared == sharers,
-                TracePerm::Excl { owner } => c.excl == Some(owner.0) && c.shared == 0,
+            let c = self.copies.get(&l).cloned().unwrap_or_default();
+            let consistent = match &dir {
+                TracePerm::Uncached => c.excl.is_none() && c.shared.is_empty(),
+                // An overflowed limited-pointer entry tracks only a subset
+                // of the sharers, so exact set equality cannot hold; the
+                // invariant that remains is that nobody owns the line.
+                TracePerm::Shared { sharers, overflow } => {
+                    c.excl.is_none() && (*overflow || c.shared == *sharers)
+                }
+                TracePerm::Excl { owner } => c.excl == Some(owner.0) && c.shared.is_empty(),
             };
             if !consistent {
                 self.report(
@@ -546,7 +544,7 @@ impl ProtoState {
                     None,
                     format!(
                         "at quiescence directory says {dir:?} but cached copies are \
-                         excl={:?} shared={:#b}",
+                         excl={:?} shared={:?}",
                         c.excl, c.shared
                     ),
                 );
@@ -586,8 +584,8 @@ impl MemTracer for CheckTracer {
         &mut self,
         now: Cycle,
         line: LineAddr,
-        from: TracePerm,
-        to: TracePerm,
+        from: &TracePerm,
+        to: &TracePerm,
         requester: NodeId,
     ) {
         self.state.borrow_mut().dir_transition(now, line, from, to, requester);

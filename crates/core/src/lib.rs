@@ -78,6 +78,6 @@ pub use workload::{TaskBuilderFn, Workload};
 // Re-exports so downstream crates can configure runs without importing the
 // whole stack.
 pub use slipstream_kernel::config::{
-    ArSyncMode, ExecMode, MachineConfig, SlipstreamConfig,
+    ArSyncMode, DirScheme, ExecMode, MachineConfig, OverflowPolicy, SlipstreamConfig,
 };
 pub use slipstream_mem::{ClassCounts, MemStats, RequestClass, StreamRole};

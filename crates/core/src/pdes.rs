@@ -87,7 +87,7 @@ pub(crate) struct WireMsg {
 /// One captured [`MemTracer`] hook invocation, stored as plain data so it
 /// can cross threads and be replayed later. Mirrors the trait's sixteen
 /// hooks one-to-one.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) enum TraceCall {
     Access { now: Cycle, cpu: CpuId, role: StreamRole, kind: AccessKind, line: LineAddr, outcome: AccessOutcome },
     Fill { now: Cycle, node: NodeId, line: LineAddr, excl: bool, transparent: bool },
@@ -131,37 +131,41 @@ impl TraceCall {
 
     /// Replays the captured call into a live tracer.
     fn apply(&self, t: &mut dyn MemTracer) {
-        match *self {
+        match self {
             TraceCall::Access { now, cpu, role, kind, line, outcome } => {
-                t.access(now, cpu, role, kind, line, outcome)
+                t.access(*now, *cpu, *role, *kind, *line, *outcome)
             }
             TraceCall::Fill { now, node, line, excl, transparent } => {
-                t.fill(now, node, line, excl, transparent)
+                t.fill(*now, *node, *line, *excl, *transparent)
             }
             TraceCall::DirTransition { now, line, from, to, requester } => {
-                t.dir_transition(now, line, from, to, requester)
+                t.dir_transition(*now, *line, from, to, *requester)
             }
             TraceCall::Intervention { now, line, owner, requester, excl } => {
-                t.intervention(now, line, owner, requester, excl)
+                t.intervention(*now, *line, *owner, *requester, *excl)
             }
-            TraceCall::Invalidation { now, line, target } => t.invalidation(now, line, target),
-            TraceCall::SiHint { now, line, owner } => t.si_hint(now, line, owner),
+            TraceCall::Invalidation { now, line, target } => t.invalidation(*now, *line, *target),
+            TraceCall::SiHint { now, line, owner } => t.si_hint(*now, *line, *owner),
             TraceCall::SiAction { now, node, line, invalidated } => {
-                t.si_action(now, node, line, invalidated)
+                t.si_action(*now, *node, *line, *invalidated)
             }
             TraceCall::TransparentUpgrade { now, line, from } => {
-                t.transparent_upgrade(now, line, from)
+                t.transparent_upgrade(*now, *line, *from)
             }
-            TraceCall::TransparentReply { now, line, from } => t.transparent_reply(now, line, from),
-            TraceCall::Writeback { now, line, from } => t.writeback(now, line, from),
-            TraceCall::SyncEvent { now, cpu, op, granted } => t.sync_event(now, cpu, op, granted),
+            TraceCall::TransparentReply { now, line, from } => {
+                t.transparent_reply(*now, *line, *from)
+            }
+            TraceCall::Writeback { now, line, from } => t.writeback(*now, *line, *from),
+            TraceCall::SyncEvent { now, cpu, op, granted } => {
+                t.sync_event(*now, *cpu, *op, *granted)
+            }
             TraceCall::L2Evict { now, node, line, dirty, transparent } => {
-                t.l2_evict(now, node, line, dirty, transparent)
+                t.l2_evict(*now, *node, *line, *dirty, *transparent)
             }
-            TraceCall::L2Invalidate { now, node, line } => t.l2_invalidate(now, node, line),
-            TraceCall::L2Downgrade { now, node, line } => t.l2_downgrade(now, node, line),
-            TraceCall::MshrAlloc { now, node, line } => t.mshr_alloc(now, node, line),
-            TraceCall::MshrFree { now, node, line } => t.mshr_free(now, node, line),
+            TraceCall::L2Invalidate { now, node, line } => t.l2_invalidate(*now, *node, *line),
+            TraceCall::L2Downgrade { now, node, line } => t.l2_downgrade(*now, *node, *line),
+            TraceCall::MshrAlloc { now, node, line } => t.mshr_alloc(*now, *node, *line),
+            TraceCall::MshrFree { now, node, line } => t.mshr_free(*now, *node, *line),
         }
     }
 }
@@ -170,7 +174,7 @@ impl TraceCall {
 /// tracer hook or a machine-level trace event (recovery, session end).
 /// Records are merged across nodes in `(time, node, capture index)`
 /// order before replay.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) enum NodeRec {
     Mem(TraceCall),
     Machine(Cycle, TraceKind),
@@ -226,11 +230,17 @@ impl MemTracer for RecordingTracer {
         &mut self,
         now: Cycle,
         line: LineAddr,
-        from: TracePerm,
-        to: TracePerm,
+        from: &TracePerm,
+        to: &TracePerm,
         requester: NodeId,
     ) {
-        self.push(TraceCall::DirTransition { now, line, from, to, requester });
+        self.push(TraceCall::DirTransition {
+            now,
+            line,
+            from: from.clone(),
+            to: to.clone(),
+            requester,
+        });
     }
     fn intervention(&mut self, now: Cycle, line: LineAddr, owner: NodeId, requester: NodeId, excl: bool) {
         self.push(TraceCall::Intervention { now, line, owner, requester, excl });
@@ -738,7 +748,7 @@ pub(crate) fn run_pdes(
                 }
                 NodeRec::Machine(t, kind) => {
                     if let Some(ts) = ts.as_ref() {
-                        ts.buf.borrow_mut().push(*t, *kind);
+                        ts.buf.borrow_mut().push(*t, kind.clone());
                     }
                 }
             }

@@ -1,4 +1,4 @@
-use slipstream_kernel::config::{ExecMode, MachineConfig, SlipstreamConfig};
+use slipstream_kernel::config::{DirScheme, ExecMode, MachineConfig, SlipstreamConfig};
 use slipstream_kernel::{CpuId, NodeId, TaskId};
 use slipstream_mem::{HomeMap, MemSystem, StreamRole};
 use slipstream_prog::{InstanceId, Layout};
@@ -23,6 +23,12 @@ pub struct RunSpec {
     /// Override the machine description (defaults to Table 1, honoring
     /// the workload's `small_l2` request).
     pub machine: Option<MachineConfig>,
+    /// Override the directory sharer-tracking scheme on whatever machine
+    /// description the run resolves to. `None` keeps the machine's own
+    /// scheme (the full-map default). The default scheme is bit-identical
+    /// to the historical protocol; `DirScheme::LimitedPointer` is an
+    /// ablation that intentionally changes traffic.
+    pub dir_scheme: Option<DirScheme>,
     /// Maximum cycles a processor may batch private work ahead of global
     /// time.
     pub quantum_cycles: u64,
@@ -65,6 +71,7 @@ impl RunSpec {
             mode,
             slip: SlipstreamConfig::default(),
             machine: None,
+            dir_scheme: None,
             quantum_cycles: 200,
             input_cycles: 500,
             trace: TraceConfig::default(),
@@ -98,6 +105,13 @@ impl RunSpec {
     /// Overrides the machine description.
     pub fn with_machine(mut self, machine: MachineConfig) -> RunSpec {
         self.machine = Some(machine);
+        self
+    }
+
+    /// Overrides the directory sharer-tracking scheme (see
+    /// [`RunSpec::dir_scheme`]).
+    pub fn with_dir_scheme(mut self, scheme: DirScheme) -> RunSpec {
+        self.dir_scheme = Some(scheme);
         self
     }
 
@@ -203,6 +217,9 @@ fn run_inner(
         }
     });
     cfg.nodes = spec.nodes;
+    if let Some(scheme) = spec.dir_scheme {
+        cfg.dir_scheme = scheme;
+    }
     let ntasks = match spec.mode {
         ExecMode::Single | ExecMode::Slipstream => spec.nodes as usize,
         ExecMode::Double => spec.nodes as usize * 2,

@@ -77,7 +77,7 @@ impl TraceConfig {
 }
 
 /// One timestamped event record.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
     /// Simulated cycle at which the event happened.
     pub t: u64,
@@ -87,7 +87,7 @@ pub struct TraceRecord {
 /// The typed event vocabulary. Protocol-level events come from the
 /// [`Recorder`]'s [`MemTracer`] hooks; `Recovery` and `SessionEnd` come
 /// from the machine loop.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceKind {
     /// An access missed the L2 and started (or merged into) a directory
     /// transaction.
@@ -274,11 +274,14 @@ impl MemTracer for Recorder {
         &mut self,
         now: Cycle,
         line: LineAddr,
-        from: TracePerm,
-        to: TracePerm,
+        from: &TracePerm,
+        to: &TracePerm,
         requester: NodeId,
     ) {
-        self.buf.borrow_mut().push(now, TraceKind::DirTransition { line, from, to, requester });
+        self.buf.borrow_mut().push(
+            now,
+            TraceKind::DirTransition { line, from: from.clone(), to: to.clone(), requester },
+        );
     }
 
     fn intervention(
@@ -692,11 +695,32 @@ fn sync_op_parts(op: SyncOp) -> (&'static str, u64) {
     }
 }
 
-fn perm_json(out: &mut String, p: TracePerm) {
+fn perm_json(out: &mut String, p: &TracePerm) {
     match p {
         TracePerm::Uncached => out.push_str("{\"state\":\"uncached\"}"),
-        TracePerm::Shared { sharers } => {
-            let _ = write!(out, "{{\"state\":\"shared\",\"sharers\":{sharers}}}");
+        TracePerm::Shared { sharers, overflow } => {
+            // Compatibility path: the historical format was an integer
+            // bit-mask, kept whenever every sharer index fits in 128 bits;
+            // larger machines emit an explicit node-id list.
+            match sharers.as_mask() {
+                Some(mask) => {
+                    let _ = write!(out, "{{\"state\":\"shared\",\"sharers\":{mask}");
+                }
+                None => {
+                    out.push_str("{\"state\":\"shared\",\"sharer_list\":[");
+                    for (i, n) in sharers.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{}", n.0);
+                    }
+                    out.push(']');
+                }
+            }
+            if *overflow {
+                out.push_str(",\"overflow\":true");
+            }
+            out.push('}');
         }
         TracePerm::Excl { owner } => {
             let _ = write!(out, "{{\"state\":\"excl\",\"owner\":{}}}", owner.0);
@@ -707,7 +731,7 @@ fn perm_json(out: &mut String, p: TracePerm) {
 /// The event's payload fields, as one JSON object (shared by the JSONL and
 /// Chrome exporters).
 fn args_json(out: &mut String, k: &TraceKind) {
-    match *k {
+    match k {
         TraceKind::MissStart { cpu, role, kind, line, merged } => {
             let _ = write!(
                 out,
@@ -715,8 +739,8 @@ fn args_json(out: &mut String, k: &TraceKind) {
                  \"line\":{},\"merged\":{}}}",
                 cpu.node().0,
                 cpu.core(),
-                role_str(role),
-                access_kind_str(kind),
+                role_str(*role),
+                access_kind_str(*kind),
                 line.0,
                 merged
             );
@@ -762,7 +786,7 @@ fn args_json(out: &mut String, k: &TraceKind) {
             let _ = write!(out, "{{\"line\":{},\"from\":{}}}", line.0, from.0);
         }
         TraceKind::Sync { cpu, op, granted } => {
-            let (_, id) = sync_op_parts(op);
+            let (_, id) = sync_op_parts(*op);
             let _ = write!(
                 out,
                 "{{\"node\":{},\"core\":{},\"id\":{id},\"granted\":{granted}}}",

@@ -271,6 +271,59 @@ impl SlipstreamConfig {
     }
 }
 
+/// What a limited-pointer directory does when a line gains more sharers
+/// than it has pointers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverflowPolicy {
+    /// Stop tracking precise sharers; a later write broadcasts
+    /// invalidations to every node except the writer (Dir_i B in the
+    /// classic taxonomy).
+    #[default]
+    Broadcast,
+}
+
+/// Directory sharer-tracking scheme.
+///
+/// The default [`DirScheme::FullMap`] tracks every sharer precisely and is
+/// the protocol every committed result was produced with. The
+/// limited-pointer scheme is an opt-in ablation: it intentionally changes
+/// protocol traffic (broadcast invalidations once a line overflows its
+/// pointer budget), so runs using it are *not* comparable to full-map
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DirScheme {
+    /// Precise bit per node (the paper's protocol). Default.
+    #[default]
+    FullMap,
+    /// Track at most `ptrs` sharer pointers per line; on overflow apply
+    /// `overflow` (currently always broadcast-on-write).
+    LimitedPointer {
+        /// Sharer pointers available per directory entry.
+        ptrs: u8,
+        /// What happens when the pointers run out.
+        overflow: OverflowPolicy,
+    },
+}
+
+impl DirScheme {
+    /// A limited-pointer scheme with `ptrs` pointers and broadcast
+    /// overflow — shorthand for the ablation figure and tests.
+    pub fn limited(ptrs: u8) -> DirScheme {
+        DirScheme::LimitedPointer { ptrs, overflow: OverflowPolicy::Broadcast }
+    }
+}
+
+impl fmt::Display for DirScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirScheme::FullMap => f.write_str("full-map"),
+            DirScheme::LimitedPointer { ptrs, overflow: OverflowPolicy::Broadcast } => {
+                write!(f, "limited-{ptrs}-bcast")
+            }
+        }
+    }
+}
+
 /// How parallel tasks are mapped onto the machine (Figure 2 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecMode {
@@ -315,6 +368,10 @@ pub struct MachineConfig {
     /// exclusively, saving the reader's subsequent upgrade. Off by default
     /// (the paper's baseline protocol does not include it).
     pub migratory_opt: bool,
+    /// Directory sharer-tracking scheme. [`DirScheme::FullMap`] (the
+    /// default) is bit-identical to the historical protocol; the
+    /// limited-pointer ablation changes traffic.
+    pub dir_scheme: DirScheme,
 }
 
 impl Default for MachineConfig {
@@ -327,6 +384,7 @@ impl Default for MachineConfig {
             page_bytes: 4096,
             quantum_ops: 64,
             migratory_opt: false,
+            dir_scheme: DirScheme::FullMap,
         }
     }
 }

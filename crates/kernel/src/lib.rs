@@ -15,6 +15,8 @@
 //! * [`FxHashMap`] — a `HashMap` with a fast deterministic hasher for the
 //!   simulator's per-access maps (directories, MSHRs, sync objects);
 //! * [`SplitMix64`] — a tiny deterministic RNG used by workload generators;
+//! * [`SharerSet`] — a compact, growable node bit-set used by the
+//!   directory protocol and its observers;
 //! * [`config`] — the machine description (Table 1 of the paper) and the
 //!   slipstream execution-mode knobs.
 //!
@@ -39,6 +41,7 @@ mod ids;
 mod queue;
 mod rng;
 mod server;
+mod sharers;
 mod smallvec;
 mod time;
 
@@ -47,5 +50,6 @@ pub use ids::{Addr, CpuId, LineAddr, NodeId, TaskId};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;
 pub use server::Server;
+pub use sharers::{SharerIter, SharerSet};
 pub use smallvec::InlineVec;
 pub use time::Cycle;

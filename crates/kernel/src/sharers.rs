@@ -1,0 +1,451 @@
+//! Compact, growable sharer sets for the directory protocol.
+//!
+//! The directory tracks which nodes hold a cached copy of each line. A raw
+//! `u128` bit-vector is the fastest possible representation but hard-caps
+//! the machine at 128 nodes. [`SharerSet`] keeps the single-word fast path
+//! for node indices below 128 — the common case for every paper-sized
+//! machine — and transparently spills to a multi-word bitset when a node
+//! with a larger index joins, so the machine scales to arbitrary node
+//! counts with O(words) set operations instead of O(N) per-node loops.
+//!
+//! Semantics are pure set-of-[`NodeId`]: equality and emptiness are
+//! *logical*, independent of which representation the set happens to be
+//! in, and iteration is always in ascending node order (the same order the
+//! old `trailing_zeros` fan-out loops produced, which keeps message
+//! schedules — and therefore whole simulations — bit-identical).
+
+use std::fmt;
+
+use crate::ids::NodeId;
+
+/// Bits per inline word group. The inline arm packs two of these.
+const WORD_BITS: usize = 64;
+/// Highest node index the inline representation can hold.
+const INLINE_BITS: usize = 128;
+
+/// A set of node IDs, stored as a bit-vector.
+///
+/// Inline (`u128`, no allocation) while every member is below 128;
+/// spills to a heap word vector the first time a larger index is
+/// inserted. Removal never demotes — a set that spilled stays spilled,
+/// which is fine because spilling only happens on machines with more
+/// than 128 nodes in the first place.
+#[derive(Clone)]
+pub struct SharerSet {
+    repr: Repr,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Bit per node for indices 0..128.
+    Inline(u128),
+    /// Bit per node, 64 indices per word, LSB-first.
+    Words(Vec<u64>),
+}
+
+impl Default for SharerSet {
+    fn default() -> SharerSet {
+        SharerSet::new()
+    }
+}
+
+impl SharerSet {
+    /// The empty set.
+    pub fn new() -> SharerSet {
+        SharerSet { repr: Repr::Inline(0) }
+    }
+
+    /// The set containing exactly `n`.
+    pub fn single(n: NodeId) -> SharerSet {
+        let mut s = SharerSet::new();
+        s.insert(n);
+        s
+    }
+
+    /// The set containing `a` and `b` (which may be equal).
+    pub fn pair(a: NodeId, b: NodeId) -> SharerSet {
+        let mut s = SharerSet::single(a);
+        s.insert(b);
+        s
+    }
+
+    /// A set from a raw 128-bit mask (bit `i` = node `i`). Used by tests
+    /// and the trace JSON exporter's compatibility path.
+    pub fn from_mask(mask: u128) -> SharerSet {
+        SharerSet { repr: Repr::Inline(mask) }
+    }
+
+    /// The set as a 128-bit mask, when every member fits (always true for
+    /// machines with at most 128 nodes). `None` once a larger index is
+    /// present.
+    pub fn as_mask(&self) -> Option<u128> {
+        match &self.repr {
+            Repr::Inline(m) => Some(*m),
+            Repr::Words(w) => {
+                if w.iter().skip(2).any(|&x| x != 0) {
+                    return None;
+                }
+                let lo = w.first().copied().unwrap_or(0) as u128;
+                let hi = w.get(1).copied().unwrap_or(0) as u128;
+                Some(lo | (hi << 64))
+            }
+        }
+    }
+
+    /// Adds `n` to the set.
+    #[inline]
+    pub fn insert(&mut self, n: NodeId) {
+        let i = n.idx();
+        match &mut self.repr {
+            Repr::Inline(m) if i < INLINE_BITS => *m |= 1u128 << i,
+            Repr::Inline(_) => {
+                self.spill(i / WORD_BITS + 1);
+                self.insert(n);
+            }
+            Repr::Words(w) => {
+                let word = i / WORD_BITS;
+                if word >= w.len() {
+                    w.resize(word + 1, 0);
+                }
+                w[word] |= 1u64 << (i % WORD_BITS);
+            }
+        }
+    }
+
+    /// Removes `n` from the set (a no-op if absent).
+    #[inline]
+    pub fn remove(&mut self, n: NodeId) {
+        let i = n.idx();
+        match &mut self.repr {
+            Repr::Inline(m) => {
+                if i < INLINE_BITS {
+                    *m &= !(1u128 << i);
+                }
+            }
+            Repr::Words(w) => {
+                if let Some(word) = w.get_mut(i / WORD_BITS) {
+                    *word &= !(1u64 << (i % WORD_BITS));
+                }
+            }
+        }
+    }
+
+    /// Whether `n` is in the set.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        let i = n.idx();
+        match &self.repr {
+            Repr::Inline(m) => i < INLINE_BITS && (*m >> i) & 1 != 0,
+            Repr::Words(w) => {
+                w.get(i / WORD_BITS).is_some_and(|word| (word >> (i % WORD_BITS)) & 1 != 0)
+            }
+        }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        match &self.repr {
+            Repr::Inline(m) => m.count_ones(),
+            Repr::Words(w) => w.iter().map(|x| x.count_ones()).sum(),
+        }
+    }
+
+    /// Whether the set has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        match &self.repr {
+            Repr::Inline(m) => *m == 0,
+            Repr::Words(w) => w.iter().all(|&x| x == 0),
+        }
+    }
+
+    /// Empties the set (and drops any spilled storage).
+    pub fn clear(&mut self) {
+        self.repr = Repr::Inline(0);
+    }
+
+    /// Whether any member other than `n` is present.
+    #[inline]
+    pub fn any_except(&self, n: NodeId) -> bool {
+        let i = n.idx();
+        match &self.repr {
+            Repr::Inline(m) => {
+                let masked = if i < INLINE_BITS { *m & !(1u128 << i) } else { *m };
+                masked != 0
+            }
+            Repr::Words(w) => w.iter().enumerate().any(|(wi, &x)| {
+                let x = if wi == i / WORD_BITS { x & !(1u64 << (i % WORD_BITS)) } else { x };
+                x != 0
+            }),
+        }
+    }
+
+    /// Number of members other than `n`.
+    #[inline]
+    pub fn count_except(&self, n: NodeId) -> u32 {
+        self.count() - self.contains(n) as u32
+    }
+
+    /// Heap bytes the representation currently owns (0 while inline).
+    /// Reported in the directory-scalability notes in docs/performance.md.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Inline(_) => 0,
+            Repr::Words(w) => w.capacity() * std::mem::size_of::<u64>(),
+        }
+    }
+
+    /// Iterates members in ascending node order.
+    pub fn iter(&self) -> SharerIter<'_> {
+        let (cur, next_word) = match &self.repr {
+            Repr::Inline(m) => (*m as u64, 1),
+            Repr::Words(w) => (w.first().copied().unwrap_or(0), 1),
+        };
+        SharerIter { set: self, cur, next_word }
+    }
+
+    /// Logical 64-bit word `i` of the bit-vector.
+    fn word(&self, i: usize) -> u64 {
+        match &self.repr {
+            Repr::Inline(m) => {
+                if i < 2 {
+                    (m >> (i * WORD_BITS)) as u64
+                } else {
+                    0
+                }
+            }
+            Repr::Words(w) => w.get(i).copied().unwrap_or(0),
+        }
+    }
+
+    /// Count of logical words that could be nonzero.
+    fn word_len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline(_) => 2,
+            Repr::Words(w) => w.len(),
+        }
+    }
+
+    fn spill(&mut self, min_words: usize) {
+        if let Repr::Inline(m) = self.repr {
+            let mut w = vec![0u64; min_words.max(2)];
+            w[0] = m as u64;
+            w[1] = (m >> 64) as u64;
+            self.repr = Repr::Words(w);
+        }
+    }
+}
+
+impl PartialEq for SharerSet {
+    /// Logical equality: two sets with the same members are equal no
+    /// matter which representation each is in.
+    fn eq(&self, other: &SharerSet) -> bool {
+        let words = self.word_len().max(other.word_len());
+        (0..words).all(|i| self.word(i) == other.word(i))
+    }
+}
+
+impl Eq for SharerSet {}
+
+impl fmt::Debug for SharerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, n) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{}", n.0)?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// Ascending-order member iterator (see [`SharerSet::iter`]).
+pub struct SharerIter<'a> {
+    set: &'a SharerSet,
+    /// Remaining bits of the word currently being drained.
+    cur: u64,
+    /// Index of the next logical word to load once `cur` is exhausted.
+    next_word: usize,
+}
+
+impl Iterator for SharerIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while self.cur == 0 {
+            if self.next_word >= self.set.word_len() {
+                return None;
+            }
+            self.cur = self.set.word(self.next_word);
+            self.next_word += 1;
+        }
+        let bit = self.cur.trailing_zeros() as usize;
+        self.cur &= self.cur - 1;
+        let idx = (self.next_word - 1) * WORD_BITS + bit;
+        Some(NodeId(idx as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn basic_ops_inline() {
+        let mut s = SharerSet::new();
+        assert!(s.is_empty());
+        s.insert(n(3));
+        s.insert(n(127));
+        s.insert(n(3));
+        assert_eq!(s.count(), 2);
+        assert!(s.contains(n(3)) && s.contains(n(127)) && !s.contains(n(4)));
+        assert!(s.any_except(n(3)));
+        assert_eq!(s.count_except(n(3)), 1);
+        assert_eq!(s.count_except(n(99)), 2);
+        s.remove(n(3));
+        assert!(!s.contains(n(3)));
+        assert_eq!(s.heap_bytes(), 0);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn spills_above_128_and_stays_correct() {
+        let mut s = SharerSet::single(n(5));
+        s.insert(n(200));
+        assert!(s.heap_bytes() > 0);
+        assert!(s.contains(n(5)) && s.contains(n(200)));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.iter().map(|x| x.0).collect::<Vec<_>>(), vec![5, 200]);
+        assert!(s.any_except(n(200)));
+        s.remove(n(5));
+        assert!(!s.any_except(n(200)));
+        assert_eq!(s.as_mask(), None);
+        s.remove(n(200));
+        assert!(s.is_empty());
+        assert_eq!(s.as_mask(), Some(0));
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        let mut spilled = SharerSet::single(n(7));
+        spilled.insert(n(300));
+        spilled.remove(n(300));
+        let inline = SharerSet::single(n(7));
+        assert_eq!(spilled, inline);
+        assert_eq!(inline, spilled);
+        assert_ne!(spilled, SharerSet::single(n(8)));
+        assert_eq!(SharerSet::new(), SharerSet::from_mask(0));
+    }
+
+    #[test]
+    fn iteration_matches_trailing_zeros_order() {
+        let mask: u128 = (1 << 0) | (1 << 9) | (1 << 64) | (1 << 127);
+        let s = SharerSet::from_mask(mask);
+        let got: Vec<u16> = s.iter().map(|x| x.0).collect();
+        // The reference order of the old fan-out loop.
+        let mut want = Vec::new();
+        let mut rest = mask;
+        while rest != 0 {
+            want.push(rest.trailing_zeros() as u16);
+            rest &= rest - 1;
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pair_and_mask_roundtrip() {
+        let s = SharerSet::pair(n(2), n(2));
+        assert_eq!(s.count(), 1);
+        let s = SharerSet::pair(n(2), n(66));
+        assert_eq!(s.as_mask(), Some((1 << 2) | (1 << 66)));
+    }
+
+    /// Differential property test: a `SharerSet` driven by a seeded op
+    /// sequence agrees with a reference `u128` model on every observable,
+    /// for node indices below 128.
+    #[test]
+    fn differential_vs_u128_model() {
+        for seed in 0..8u64 {
+            let mut rng = SplitMix64::new(0x5eed_5e75 ^ seed);
+            let mut set = SharerSet::new();
+            let mut model: u128 = 0;
+            for _ in 0..4000 {
+                let node = n(rng.next_below(128) as u16);
+                match rng.next_below(4) {
+                    0 | 1 => {
+                        set.insert(node);
+                        model |= 1u128 << node.idx();
+                    }
+                    2 => {
+                        set.remove(node);
+                        model &= !(1u128 << node.idx());
+                    }
+                    _ => {
+                        if rng.next_below(64) == 0 {
+                            set.clear();
+                            model = 0;
+                        }
+                    }
+                }
+                let probe = n(rng.next_below(128) as u16);
+                assert_eq!(set.contains(probe), (model >> probe.idx()) & 1 != 0);
+                assert_eq!(set.count(), model.count_ones());
+                assert_eq!(set.is_empty(), model == 0);
+                assert_eq!(
+                    set.any_except(probe),
+                    model & !(1u128 << probe.idx()) != 0
+                );
+                assert_eq!(
+                    set.count_except(probe),
+                    (model & !(1u128 << probe.idx())).count_ones()
+                );
+                assert_eq!(set.as_mask(), Some(model));
+                assert_eq!(set, SharerSet::from_mask(model));
+            }
+            // Iteration order must match the trailing_zeros drain.
+            let got: Vec<u16> = set.iter().map(|x| x.0).collect();
+            let mut want = Vec::new();
+            let mut rest = model;
+            while rest != 0 {
+                want.push(rest.trailing_zeros() as u16);
+                rest &= rest - 1;
+            }
+            assert_eq!(got, want);
+        }
+    }
+
+    /// The same differential, but with half the inserts above 128 so the
+    /// spilled representation is exercised against a two-word model.
+    #[test]
+    fn differential_spilled_vs_word_model() {
+        let mut rng = SplitMix64::new(0xb16_5e7);
+        let mut set = SharerSet::new();
+        let mut model = [0u64; 4]; // 256 node indices
+        for _ in 0..4000 {
+            let i = rng.next_below(256) as usize;
+            if rng.next_below(3) < 2 {
+                set.insert(n(i as u16));
+                model[i / 64] |= 1 << (i % 64);
+            } else {
+                set.remove(n(i as u16));
+                model[i / 64] &= !(1 << (i % 64));
+            }
+            let p = rng.next_below(256) as usize;
+            assert_eq!(set.contains(n(p as u16)), (model[p / 64] >> (p % 64)) & 1 != 0);
+            assert_eq!(set.count(), model.iter().map(|w| w.count_ones()).sum::<u32>());
+        }
+        let got: Vec<u16> = set.iter().map(|x| x.0).collect();
+        let want: Vec<u16> = (0..256u16)
+            .filter(|&i| (model[i as usize / 64] >> (i % 64)) & 1 != 0)
+            .collect();
+        assert_eq!(got, want);
+    }
+}

@@ -111,6 +111,11 @@ pub struct MemStats {
     pub writebacks: u64,
     /// Invalidation messages sent by the directory.
     pub invalidations_sent: u64,
+    /// Write transactions that had to broadcast invalidations because a
+    /// limited-pointer directory entry had overflowed
+    /// ([`slipstream_kernel::config::DirScheme::LimitedPointer`]). Always 0
+    /// under the default full-map scheme.
+    pub broadcast_invalidations: u64,
     /// 3-hop interventions (exclusive owner forwarded data).
     pub interventions: u64,
     /// Reads of detected-migratory lines granted exclusively
@@ -150,6 +155,7 @@ impl MemStats {
         self.si_downgrades += o.si_downgrades;
         self.writebacks += o.writebacks;
         self.invalidations_sent += o.invalidations_sent;
+        self.broadcast_invalidations += o.broadcast_invalidations;
         self.interventions += o.interventions;
         self.migratory_grants += o.migratory_grants;
         self.intervention_nacks += o.intervention_nacks;

@@ -1,7 +1,7 @@
 use std::collections::VecDeque;
 
-use slipstream_kernel::config::{Latencies, MachineConfig};
-use slipstream_kernel::{Addr, CpuId, Cycle, EventQueue, FxHashMap, LineAddr, NodeId, Server};
+use slipstream_kernel::config::{DirScheme, Latencies, MachineConfig};
+use slipstream_kernel::{Addr, CpuId, Cycle, EventQueue, FxHashMap, LineAddr, NodeId, Server, SharerSet};
 use slipstream_prog::{BarrierId, EventId, LockId};
 
 use crate::classify::OpenReq;
@@ -44,11 +44,11 @@ pub enum Access {
 }
 
 /// Directory permission state for one line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 enum Perm {
     #[default]
     Uncached,
-    Shared(u128), // bit per node
+    Shared(SharerSet), // bit per node
     Excl(NodeId),
 }
 
@@ -79,7 +79,13 @@ struct PendingTxn {
 struct DirLine {
     perm: Perm,
     /// Future-sharer bits (§4.2), one per node, set by transparent loads.
-    future: u128,
+    /// Always tracked precisely, in every [`DirScheme`].
+    future: SharerSet,
+    /// Limited-pointer overflow: the sharer list stopped tracking new
+    /// readers once the pointer budget was exhausted, so the next write
+    /// must broadcast invalidations. Always `false` under
+    /// [`DirScheme::FullMap`].
+    ovfl: bool,
     busy: Option<PendingTxn>,
     waiters: VecDeque<Msg>,
     /// Consecutive exclusive-ownership hand-offs between distinct nodes
@@ -136,6 +142,8 @@ pub struct MemSystem {
     /// the full config is not retained.
     lat: Latencies,
     migratory_opt: bool,
+    /// Directory sharer-tracking scheme ([`MachineConfig::dir_scheme`]).
+    scheme: DirScheme,
     n_nodes: u16,
     /// Global index of the first node materialized in `nodes`: 0 for a
     /// whole-machine system, the owning node's index for a single-node
@@ -154,8 +162,25 @@ pub struct MemSystem {
     tracer: Option<Box<dyn MemTracer>>,
 }
 
-fn bit(n: NodeId) -> u128 {
-    1u128 << n.idx()
+/// Adds `from` to a shared line's sharer set under the configured
+/// directory scheme. A full-map directory always records the sharer; a
+/// limited-pointer directory stops recording once the pointer budget is
+/// exhausted and marks the line overflowed instead, so the next write
+/// broadcasts invalidations.
+fn track_sharer(scheme: DirScheme, s: &mut SharerSet, ovfl: &mut bool, from: NodeId) {
+    match scheme {
+        DirScheme::FullMap => s.insert(from),
+        DirScheme::LimitedPointer { ptrs, .. } => {
+            if *ovfl {
+                return;
+            }
+            if s.contains(from) || s.count() < u32::from(ptrs) {
+                s.insert(from);
+            } else {
+                *ovfl = true;
+            }
+        }
+    }
 }
 
 fn node_state(cfg: &MachineConfig) -> NodeState {
@@ -181,16 +206,15 @@ impl MemSystem {
     ///
     /// # Panics
     ///
-    /// Panics if the machine has more than 128 nodes (directory bit-vector
-    /// width) or the home map disagrees with the machine's node count.
+    /// Panics if the home map disagrees with the machine's node count.
     pub fn new(cfg: &MachineConfig, home: HomeMap, participants: u32) -> MemSystem {
-        assert!(cfg.nodes as usize <= 128, "directory bit-vector holds at most 128 nodes");
         assert_eq!(home.nodes(), cfg.nodes, "home map and machine disagree on node count");
         let line_bytes = cfg.line_bytes();
         let nodes = (0..cfg.nodes).map(|_| node_state(cfg)).collect();
         MemSystem {
             lat: cfg.lat,
             migratory_opt: cfg.migratory_opt,
+            scheme: cfg.dir_scheme,
             n_nodes: cfg.nodes,
             first_node: 0,
             home,
@@ -226,12 +250,12 @@ impl MemSystem {
         participants: u32,
         node: NodeId,
     ) -> MemSystem {
-        assert!(cfg.nodes as usize <= 128, "directory bit-vector holds at most 128 nodes");
         assert_eq!(home.nodes(), cfg.nodes, "home map and machine disagree on node count");
         assert!(node.idx() < cfg.nodes as usize, "partition node out of range");
         MemSystem {
             lat: cfg.lat,
             migratory_opt: cfg.migratory_opt,
+            scheme: cfg.dir_scheme,
             n_nodes: cfg.nodes,
             first_node: node.idx(),
             home,
@@ -883,7 +907,10 @@ impl MemSystem {
             return;
         }
         let mut retry = false;
-        let perm_before = dl.perm;
+        // Snapshot the pre-transition state only when someone is watching:
+        // the clone is potentially allocating (spilled sharer sets), so the
+        // default path must not pay for it.
+        let before = self.tracer.is_some().then(|| (dl.perm.clone(), dl.ovfl));
         // Dissolve the message so the kind can be matched by move (no
         // per-message clone on the directory hot path); src/dst stay
         // available for the one arm that re-queues the message.
@@ -891,26 +918,27 @@ impl MemSystem {
         match kind {
             MsgKind::ReadReq { from, role, .. } => {
                 if !role.is_a() {
-                    dl.future &= !bit(from);
+                    dl.future.remove(from);
                 }
-                match dl.perm {
+                match &mut dl.perm {
                     Perm::Uncached => {
                         // MSI: reads are granted shared (the paper's
                         // "invalidate-based fully-mapped directory").
-                        dl.perm = Perm::Shared(bit(from));
+                        dl.perm = Perm::Shared(SharerSet::single(from));
                         dl.busy = Some(mem_wait(from, false));
                         let reply = data_reply(home, from, line, false, false);
                         let done = self.mem_access(home, now);
                         sched.sched(done, MemEvent::MemReady(reply));
                     }
                     Perm::Shared(s) => {
-                        dl.perm = Perm::Shared(s | bit(from));
+                        track_sharer(self.scheme, s, &mut dl.ovfl, from);
                         dl.busy = Some(mem_wait(from, false));
                         let reply = data_reply(home, from, line, false, false);
                         let done = self.mem_access(home, now);
                         sched.sched(done, MemEvent::MemReady(reply));
                     }
-                    Perm::Excl(owner) if owner != from => {
+                    Perm::Excl(owner) if *owner != from => {
+                        let owner = *owner;
                         self.stats.interventions += 1;
                         let migratory_grant =
                             self.migratory_opt && dl.migratory() && !role.is_a();
@@ -973,12 +1001,12 @@ impl MemSystem {
                 }
             }
             MsgKind::ReadExclReq { from, role, .. } => {
-                let si_hint = !role.is_a() && (dl.future & !bit(from)) != 0;
+                let si_hint = !role.is_a() && dl.future.any_except(from);
                 if !role.is_a() {
-                    dl.future &= !bit(from);
+                    dl.future.remove(from);
                 }
                 dl.note_excl_handoff(from);
-                match dl.perm {
+                match &mut dl.perm {
                     Perm::Uncached => {
                         dl.perm = Perm::Excl(from);
                         dl.busy = Some(PendingTxn { si_hint, ..mem_wait(from, true) });
@@ -986,11 +1014,24 @@ impl MemSystem {
                         let done = self.mem_access(home, now);
                         sched.sched(done, MemEvent::MemReady(reply));
                     }
-                    Perm::Shared(s) => {
-                        let needs_data = s & bit(from) == 0;
-                        let targets = s & !bit(from);
-                        let n_targets = targets.count_ones();
-                        dl.perm = Perm::Excl(from);
+                    Perm::Shared(_) => {
+                        // Take the sharer set out so the fan-out below can
+                        // iterate it while the directory entry mutates.
+                        let Perm::Shared(s) = std::mem::replace(&mut dl.perm, Perm::Excl(from))
+                        else {
+                            unreachable!("matched Shared above")
+                        };
+                        let bcast = dl.ovfl;
+                        dl.ovfl = false;
+                        let needs_data = !s.contains(from);
+                        let n_targets = if bcast {
+                            // Limited-pointer overflow: the precise sharer
+                            // list is gone, so invalidate every other node
+                            // (they all ack, cached copy or not).
+                            u32::from(self.n_nodes) - 1
+                        } else {
+                            s.count_except(from)
+                        };
                         dl.busy = Some(PendingTxn {
                             requester: from,
                             excl: true,
@@ -1002,16 +1043,32 @@ impl MemSystem {
                             si_hint,
                         });
                         self.stats.invalidations_sent += n_targets as u64;
-                        let mut rest = targets;
-                        while rest != 0 {
-                            let i = rest.trailing_zeros();
-                            rest &= rest - 1;
-                            let to = NodeId(i as u16);
-                            if let Some(t) = self.tracer.as_deref_mut() {
-                                t.invalidation(now, line, to);
+                        if bcast {
+                            self.stats.broadcast_invalidations += 1;
+                            for i in 0..self.n_nodes {
+                                let to = NodeId(i);
+                                if to == from {
+                                    continue;
+                                }
+                                if let Some(t) = self.tracer.as_deref_mut() {
+                                    t.invalidation(now, line, to);
+                                }
+                                let inv =
+                                    Msg { src: home, dst: to, kind: MsgKind::Inv { line, to } };
+                                self.route(now, inv, sched);
                             }
-                            let inv = Msg { src: home, dst: to, kind: MsgKind::Inv { line, to } };
-                            self.route(now, inv, sched);
+                        } else {
+                            for to in s.iter() {
+                                if to == from {
+                                    continue;
+                                }
+                                if let Some(t) = self.tracer.as_deref_mut() {
+                                    t.invalidation(now, line, to);
+                                }
+                                let inv =
+                                    Msg { src: home, dst: to, kind: MsgKind::Inv { line, to } };
+                                self.route(now, inv, sched);
+                            }
                         }
                         if n_targets == 0 {
                             let reply = data_reply(home, from, line, true, si_hint);
@@ -1019,7 +1076,8 @@ impl MemSystem {
                             sched.sched(at, MemEvent::MemReady(reply));
                         }
                     }
-                    Perm::Excl(owner) if owner != from => {
+                    Perm::Excl(owner) if *owner != from => {
+                        let owner = *owner;
                         self.stats.interventions += 1;
                         if let Some(t) = self.tracer.as_deref_mut() {
                             t.intervention(now, line, owner, from, true);
@@ -1052,9 +1110,10 @@ impl MemSystem {
                 }
             }
             MsgKind::TransReadReq { from, .. } => {
-                dl.future |= bit(from);
-                match dl.perm {
-                    Perm::Excl(owner) if owner != from => {
+                dl.future.insert(from);
+                match &mut dl.perm {
+                    Perm::Excl(owner) if *owner != from => {
+                        let owner = *owner;
                         // Stale copy straight from memory; advise the owner
                         // (§4.2, left half of Figure 8). The directory is
                         // not blocked and the sharing list is untouched.
@@ -1090,7 +1149,7 @@ impl MemSystem {
                         if let Some(t) = self.tracer.as_deref_mut() {
                             t.transparent_upgrade(now, line, from);
                         }
-                        dl.perm = Perm::Shared(bit(from));
+                        dl.perm = Perm::Shared(SharerSet::single(from));
                         dl.busy = Some(mem_wait(from, false));
                         let reply = data_reply(home, from, line, false, false);
                         let done = self.mem_access(home, now);
@@ -1101,7 +1160,7 @@ impl MemSystem {
                         if let Some(t) = self.tracer.as_deref_mut() {
                             t.transparent_upgrade(now, line, from);
                         }
-                        dl.perm = Perm::Shared(s | bit(from));
+                        track_sharer(self.scheme, s, &mut dl.ovfl, from);
                         dl.busy = Some(mem_wait(from, false));
                         let reply = data_reply(home, from, line, false, false);
                         let done = self.mem_access(home, now);
@@ -1117,7 +1176,7 @@ impl MemSystem {
                 // The line's data is written to memory (consumes bank
                 // bandwidth even though nobody waits on it).
                 self.mem_write(home, now);
-                dl.future &= !bit(from);
+                dl.future.remove(from);
                 if let Some(p) = dl.busy.as_mut() {
                     p.wb_received = true;
                     if p.owner_gone {
@@ -1143,26 +1202,34 @@ impl MemSystem {
                     });
                 } else if dl.perm == Perm::Excl(from) {
                     self.mem_write(home, now);
-                    dl.perm = Perm::Shared(bit(from));
+                    dl.perm = Perm::Shared(SharerSet::single(from));
                     retry = true;
                 }
             }
             MsgKind::ReplHint { from, .. } => {
-                dl.future &= !bit(from);
-                match dl.perm {
+                dl.future.remove(from);
+                match &mut dl.perm {
                     Perm::Shared(s) => {
-                        let s = s & !bit(from);
-                        dl.perm = if s == 0 { Perm::Uncached } else { Perm::Shared(s) };
+                        // Under limited-pointer overflow the sharer list is
+                        // no longer precise, so evictions cannot shrink it
+                        // (an untracked sharer might remain); the line stays
+                        // overflowed until the next write broadcasts.
+                        if !dl.ovfl {
+                            s.remove(from);
+                            if s.is_empty() {
+                                dl.perm = Perm::Uncached;
+                            }
+                        }
                         retry = dl.busy.is_none();
                     }
-                    Perm::Excl(o) if o == from && dl.busy.is_none() => {
+                    Perm::Excl(o) if *o == from && dl.busy.is_none() => {
                         // Clean exclusive eviction. An owner that never
                         // wrote also disproves a migratory prediction.
                         dl.perm = Perm::Uncached;
                         dl.handoffs = 0;
                         retry = true;
                     }
-                    Perm::Excl(o) if o == from => {
+                    Perm::Excl(o) if *o == from => {
                         // Clean exclusive eviction racing an intervention:
                         // memory is current (the copy was clean), so this
                         // resolves the stalled transaction like a writeback.
@@ -1182,7 +1249,7 @@ impl MemSystem {
                 let p = dl.busy.take().expect("WbShared without pending transaction");
                 debug_assert!(!p.excl && p.wait == WaitKind::Owner);
                 debug_assert_eq!(p.requester, requester);
-                dl.perm = Perm::Shared(bit(from) | bit(requester));
+                dl.perm = Perm::Shared(SharerSet::pair(from, requester));
                 retry = true;
             }
             MsgKind::TransferAck { new_owner, .. } => {
@@ -1220,9 +1287,13 @@ impl MemSystem {
             }
             other => unreachable!("non-directory message {other:?} in handle_dir"),
         }
-        if dl.perm != perm_before {
-            if let Some(t) = self.tracer.as_deref_mut() {
-                t.dir_transition(now, line, trace_perm(perm_before), trace_perm(dl.perm), msg_src);
+        if let Some((perm_before, ovfl_before)) = before {
+            if dl.perm != perm_before || dl.ovfl != ovfl_before {
+                let from = trace_perm(&perm_before, ovfl_before);
+                let to = trace_perm(&dl.perm, dl.ovfl);
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.dir_transition(now, line, &from, &to, msg_src);
+                }
             }
         }
         self.dir.insert(line, dl);
@@ -1813,11 +1884,11 @@ impl MemSystem {
     }
 }
 
-fn trace_perm(p: Perm) -> TracePerm {
+fn trace_perm(p: &Perm, ovfl: bool) -> TracePerm {
     match p {
         Perm::Uncached => TracePerm::Uncached,
-        Perm::Shared(s) => TracePerm::Shared { sharers: s },
-        Perm::Excl(o) => TracePerm::Excl { owner: o },
+        Perm::Shared(s) => TracePerm::Shared { sharers: s.clone(), overflow: ovfl },
+        Perm::Excl(o) => TracePerm::Excl { owner: *o },
     }
 }
 
@@ -1852,8 +1923,9 @@ fn complete_from_memory(
     if p.excl {
         dl.perm = Perm::Excl(p.requester);
     } else {
-        dl.perm = Perm::Shared(bit(p.requester));
+        dl.perm = Perm::Shared(SharerSet::single(p.requester));
     }
+    dl.ovfl = false;
     let reply = data_reply(home, p.requester, line, p.excl, p.si_hint);
     sched.sched(mem_done, MemEvent::MemReady(reply));
 }

@@ -13,7 +13,7 @@
 //! a tracer installed produces bit-identical results to a run without one,
 //! which `slipstream-core`'s accounting tests assert.
 
-use slipstream_kernel::{CpuId, Cycle, LineAddr, NodeId};
+use slipstream_kernel::{CpuId, Cycle, LineAddr, NodeId, SharerSet};
 
 use crate::msg::{AccessKind, StreamRole, SyncOp};
 
@@ -39,14 +39,18 @@ pub enum AccessOutcome {
 /// Snapshot of a directory entry's permission state, as exposed to
 /// tracers. Mirrors the (private) protocol state: uncached, shared with a
 /// node bit-vector, or exclusively owned.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TracePerm {
     /// No cached copies are registered.
     Uncached,
     /// Shared copies exist at the nodes set in `sharers` (bit per node).
     Shared {
-        /// Bit-vector of sharing nodes.
-        sharers: u128,
+        /// Set of sharing nodes.
+        sharers: SharerSet,
+        /// Limited-pointer overflow: `sharers` is a subset of the true
+        /// copy-holders and the next write will broadcast. Always `false`
+        /// under the default full-map scheme.
+        overflow: bool,
     },
     /// One node holds the line exclusively.
     Excl {
@@ -77,13 +81,15 @@ pub trait MemTracer: std::fmt::Debug {
     fn fill(&mut self, now: Cycle, node: NodeId, line: LineAddr, excl: bool, transparent: bool) {}
 
     /// The home directory's permission state for `line` changed while
-    /// serving a message from `requester`.
+    /// serving a message from `requester`. The snapshots are passed by
+    /// reference (sharer sets may own heap storage on >128-node machines);
+    /// a tracer that retains them clones.
     fn dir_transition(
         &mut self,
         now: Cycle,
         line: LineAddr,
-        from: TracePerm,
-        to: TracePerm,
+        from: &TracePerm,
+        to: &TracePerm,
         requester: NodeId,
     ) {
     }
@@ -175,7 +181,7 @@ macro_rules! fanout {
 fanout! {
     access(now: Cycle, cpu: CpuId, role: StreamRole, kind: AccessKind, line: LineAddr, outcome: AccessOutcome);
     fill(now: Cycle, node: NodeId, line: LineAddr, excl: bool, transparent: bool);
-    dir_transition(now: Cycle, line: LineAddr, from: TracePerm, to: TracePerm, requester: NodeId);
+    dir_transition(now: Cycle, line: LineAddr, from: &TracePerm, to: &TracePerm, requester: NodeId);
     intervention(now: Cycle, line: LineAddr, owner: NodeId, requester: NodeId, excl: bool);
     invalidation(now: Cycle, line: LineAddr, target: NodeId);
     si_hint(now: Cycle, line: LineAddr, owner: NodeId);
@@ -220,8 +226,8 @@ mod tests {
         t.dir_transition(
             Cycle(1),
             LineAddr(3),
-            TracePerm::Uncached,
-            TracePerm::Excl { owner: NodeId(1) },
+            &TracePerm::Uncached,
+            &TracePerm::Excl { owner: NodeId(1) },
             NodeId(1),
         );
         t.fill(Cycle(2), NodeId(0), LineAddr(3), true, false);

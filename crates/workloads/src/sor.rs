@@ -37,6 +37,14 @@ impl Sor {
     pub fn quick() -> Sor {
         Sor { n: 256, iters: 3, cycles_per_line: 60 }
     }
+
+    /// Problem size scaled with the machine: 4 rows per node and at least
+    /// the quick grid, so every node has work at 256+ nodes while small
+    /// configurations stay comparable to [`Sor::quick`]. Used by the
+    /// scaling study (`fig_scaling`).
+    pub fn scaled(nodes: u16) -> Sor {
+        Sor { n: (4 * nodes as u64).max(256), iters: 3, cycles_per_line: 60 }
+    }
 }
 
 impl Workload for Sor {
