@@ -1,0 +1,363 @@
+//! Differential fuzzing driver: generated sharing-pattern programs vs the
+//! static verifier vs the simulator.
+//!
+//! For every generated program the pipeline asserts, in order:
+//!
+//! 1. **Statically clean** — zero `Error` diagnostics from the full
+//!    analysis (SC001..SC015, including the program's own pattern
+//!    contract) under conventional instantiation at `nodes` and
+//!    `2 * nodes` tasks and under slipstream instantiation at `nodes`.
+//! 2. **Engine agreement** — for each execution mode (single, double,
+//!    slipstream, slipstream+si), the serial event loop (`threads = 0`)
+//!    and the conservative parallel engine (`threads = K`) produce the
+//!    same simulated results.
+//! 3. **Checked-run agreement** — a protocol-checked run (single and
+//!    slipstream+si) reports zero violations and a bit-identical
+//!    [`RunResult`] to the unchecked serial run.
+//!
+//! Then every seeded mutation is re-checked: the planted bug must be
+//! caught by its expected rule at `Error` severity.
+//!
+//! Usage: `fuzz [--seed S] [--count N] [--nodes N] [--threads K]
+//!              [--mutants M] [--quick] [--json PATH] [--quiet]`
+//!   --seed S     master corpus seed (default: the committed CORPUS_SEED)
+//!   --count N    number of generated programs (default: CORPUS_COUNT)
+//!   --nodes N    CMP nodes per run (default: 2)
+//!   --threads K  parallel-engine worker count to compare against the
+//!                serial loop (default: 2)
+//!   --mutants M  number of mutants to check (default: 3 rounds of the
+//!                mutation set)
+//!   --quick      CI smoke sizing: 36 programs (6 per pattern), one
+//!                mutation round
+//!   --json PATH  write a machine-readable corpus report
+//!   --quiet      silence per-program progress on stderr
+//!
+//! Every failure is reported; the exit code is nonzero if any stage
+//! failed. Reproduce one entry with `--seed <S> --count <i+1>`.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use slipstream_check::{
+    instantiate_workload, run_checked, verify_contract, verify_task_set, Severity,
+};
+use slipstream_core::{
+    run, ArSyncMode, ExecMode, MachineConfig, RunResult, RunSpec, SlipstreamConfig, Workload,
+};
+use slipstream_gen::corpus::{corpus_entry, mutant_entry, CORPUS_COUNT, CORPUS_SEED};
+use slipstream_gen::{GenWorkload, Mutation};
+
+struct Args {
+    seed: u64,
+    count: usize,
+    nodes: u16,
+    threads: u16,
+    mutants: usize,
+    json: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: CORPUS_SEED,
+        count: CORPUS_COUNT,
+        nodes: 2,
+        threads: 2,
+        mutants: 3 * Mutation::ALL.len(),
+        json: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--seed" => args.seed = parse_u64(&val("--seed")),
+            "--count" => args.count = val("--count").parse().expect("--count"),
+            "--nodes" => args.nodes = val("--nodes").parse().expect("--nodes"),
+            "--threads" => args.threads = val("--threads").parse().expect("--threads"),
+            "--mutants" => args.mutants = val("--mutants").parse().expect("--mutants"),
+            "--quick" => {
+                args.count = 36;
+                args.mutants = Mutation::ALL.len();
+            }
+            "--json" => args.json = Some(val("--json")),
+            "--quiet" => args.quiet = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn parse_u64(s: &str) -> u64 {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).expect("hex seed")
+    } else {
+        s.parse().expect("seed")
+    }
+}
+
+/// The four execution modes of the benchmark matrix.
+fn mode_specs(nodes: u16) -> Vec<(&'static str, RunSpec)> {
+    vec![
+        ("single", RunSpec::new(nodes, ExecMode::Single)),
+        ("double", RunSpec::new(nodes, ExecMode::Double)),
+        (
+            "slipstream",
+            RunSpec::new(nodes, ExecMode::Slipstream)
+                .with_slip(SlipstreamConfig::prefetch_only(ArSyncMode::OneTokenGlobal)),
+        ),
+        (
+            "slipstream+si",
+            RunSpec::new(nodes, ExecMode::Slipstream)
+                .with_slip(SlipstreamConfig::with_self_invalidation(ArSyncMode::OneTokenGlobal)),
+        ),
+    ]
+}
+
+/// Static pipeline: verifier + contract over both instantiations.
+/// Returns failure descriptions (empty = clean).
+fn static_failures(w: &GenWorkload, cfg: &MachineConfig, nodes: u16) -> Vec<String> {
+    let mut fails = Vec::new();
+    let configs = [
+        (nodes as usize, false),
+        (2 * nodes as usize, false),
+        (nodes as usize, true),
+    ];
+    for (ntasks, slipstream) in configs {
+        let set = instantiate_workload(w, cfg.page_bytes, ntasks, slipstream);
+        let mut diags = verify_task_set(&set);
+        diags.extend(verify_contract(&set.r, &w.contract(ntasks)));
+        for d in diags.iter().filter(|d| d.severity == Severity::Error) {
+            fails.push(format!(
+                "{} ({ntasks} tasks, slipstream={slipstream}): {}",
+                w.name(),
+                d
+            ));
+        }
+    }
+    fails
+}
+
+/// One simulated mode: serial vs parallel engine, and (for the checked
+/// modes) the protocol-checked differential. Returns the serial cycles
+/// and failure descriptions.
+fn dynamic_mode(
+    w: &GenWorkload,
+    mode: &str,
+    spec: &RunSpec,
+    threads: u16,
+    check: bool,
+) -> (u64, Vec<String>) {
+    let mut fails = Vec::new();
+    let serial = run(w, &spec.clone().with_threads(0));
+    let pdes = run(w, &spec.clone().with_threads(threads));
+    if !sim_eq(&serial, &pdes) {
+        fails.push(format!(
+            "{} {mode}: serial and {threads}-worker results diverge \
+             (cycles {} vs {}, recoveries {} vs {})",
+            w.name(),
+            serial.exec_cycles,
+            pdes.exec_cycles,
+            serial.recoveries,
+            pdes.recoveries
+        ));
+    }
+    if check {
+        let (checked, report) = run_checked(w, spec);
+        if !report.ok() {
+            fails.push(format!("{} {mode}: protocol checker: {}", w.name(), report.summary()));
+        }
+        if checked != serial {
+            fails.push(format!("{} {mode}: checked run diverged from unchecked", w.name()));
+        }
+    }
+    (serial.exec_cycles, fails)
+}
+
+/// Simulated-machine equality across engines. The serial loop and the
+/// parallel engine are separately deterministic but differ in *host-side*
+/// accounting (`host_events`), so that observability counter is excluded;
+/// everything simulated — cycles, streams, memory statistics, recoveries
+/// — must match bit for bit.
+fn sim_eq(a: &RunResult, b: &RunResult) -> bool {
+    let mut b2 = b.clone();
+    b2.host_events = a.host_events;
+    *a == b2
+}
+
+struct ProgramReport {
+    name: String,
+    seed: u64,
+    spec_json: String,
+    cycles: Vec<(&'static str, u64)>,
+    ok: bool,
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let cfg = MachineConfig::with_nodes(args.nodes);
+    let specs = mode_specs(args.nodes);
+    let mut failures: Vec<String> = Vec::new();
+    let mut programs: Vec<ProgramReport> = Vec::new();
+
+    for i in 0..args.count {
+        let w = corpus_entry(args.seed, i);
+        let mut fails = static_failures(&w, &cfg, args.nodes);
+        let mut cycles = Vec::new();
+        if fails.is_empty() {
+            // Simulate only statically clean programs: a verifier failure
+            // already fails the run, and the engines' behaviour on broken
+            // programs (deadlocks) is not part of the contract.
+            for (mode, spec) in &specs {
+                let check = matches!(*mode, "single" | "slipstream+si");
+                let (c, f) = dynamic_mode(&w, mode, spec, args.threads, check);
+                cycles.push((*mode, c));
+                fails.extend(f);
+            }
+        }
+        let ok = fails.is_empty();
+        if !args.quiet {
+            eprintln!(
+                "[{}/{}] {} {}",
+                i + 1,
+                args.count,
+                w.name(),
+                if ok { "ok" } else { "FAIL" }
+            );
+        }
+        programs.push(ProgramReport {
+            name: w.name().to_string(),
+            seed: w.seed(),
+            spec_json: w.spec().to_json(),
+            cycles,
+            ok,
+        });
+        failures.extend(fails);
+    }
+
+    let mut mutants_caught = 0usize;
+    let mut mutant_rows: Vec<(String, &'static str, &'static str, bool)> = Vec::new();
+    for i in 0..args.mutants {
+        let w = mutant_entry(args.seed, i);
+        let m = w.mutation().expect("mutant");
+        let rule = m.expected_rule();
+        let ntasks = args.nodes.max(2) as usize * 2;
+        let set = instantiate_workload(&w, cfg.page_bytes, ntasks, m.needs_slipstream());
+        let mut diags = verify_task_set(&set);
+        diags.extend(verify_contract(&set.r, &w.contract(ntasks)));
+        let caught =
+            diags.iter().any(|d| d.rule == rule && d.severity == Severity::Error);
+        if caught {
+            mutants_caught += 1;
+        } else {
+            failures.push(format!(
+                "mutant {}: expected {} to fire, got {:?}",
+                w.name(),
+                rule.id(),
+                diags.iter().map(|d| d.rule.id()).collect::<Vec<_>>()
+            ));
+        }
+        if !args.quiet {
+            eprintln!(
+                "[mutant {}/{}] {} -> {} {}",
+                i + 1,
+                args.mutants,
+                w.name(),
+                rule.id(),
+                if caught { "caught" } else { "MISSED" }
+            );
+        }
+        mutant_rows.push((w.name().to_string(), m.key(), rule.id(), caught));
+    }
+
+    if let Some(path) = &args.json {
+        let json = render_json(&args, &programs, &mutant_rows, &failures, mutants_caught);
+        std::fs::write(path, json).expect("write json report");
+        if !args.quiet {
+            eprintln!("wrote {path}");
+        }
+    }
+
+    let clean = programs.iter().filter(|p| p.ok).count();
+    println!(
+        "fuzz: {clean}/{} programs clean, {mutants_caught}/{} mutants caught, {} failure(s)",
+        programs.len(),
+        mutant_rows.len(),
+        failures.len()
+    );
+    for f in &failures {
+        println!("  FAIL: {f}");
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn render_json(
+    args: &Args,
+    programs: &[ProgramReport],
+    mutants: &[(String, &'static str, &'static str, bool)],
+    failures: &[String],
+    mutants_caught: usize,
+) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\n  \"schema\": \"slipstream-fuzz/1\",\n  \"seed\": {},\n  \"count\": {},\n  \
+         \"nodes\": {},\n  \"threads\": {},\n  \"programs\": [",
+        args.seed, args.count, args.nodes, args.threads
+    );
+    for (i, p) in programs.iter().enumerate() {
+        let cycles = p
+            .cycles
+            .iter()
+            .map(|(m, c)| format!("\"{m}\":{c}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = write!(
+            s,
+            "{}\n    {{\"i\":{i},\"name\":\"{}\",\"seed\":{},\"spec\":{},\"ok\":{},\
+             \"cycles\":{{{cycles}}}}}",
+            if i == 0 { "" } else { "," },
+            p.name,
+            p.seed,
+            p.spec_json,
+            p.ok
+        );
+    }
+    let _ = write!(s, "\n  ],\n  \"mutants\": [");
+    for (i, (name, key, rule, caught)) in mutants.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\n    {{\"name\":\"{name}\",\"mutation\":\"{key}\",\"expected\":\"{rule}\",\
+             \"caught\":{caught}}}",
+            if i == 0 { "" } else { "," }
+        );
+    }
+    let _ = write!(s, "\n  ],\n  \"failures\": [");
+    for (i, f) in failures.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\n    \"{}\"",
+            if i == 0 { "" } else { "," },
+            f.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    let clean = programs.iter().filter(|p| p.ok).count();
+    let _ = write!(
+        s,
+        "\n  ],\n  \"summary\": {{\"clean\": {clean}, \"programs\": {}, \
+         \"mutants_caught\": {mutants_caught}, \"mutants\": {}, \"failures\": {}}}\n}}\n",
+        programs.len(),
+        mutants.len(),
+        failures.len()
+    );
+    s
+}

@@ -1,0 +1,302 @@
+//! Pattern contract verification (rule SC015).
+//!
+//! Programs emitted by `slipstream-gen` carry a declared [`PatternContract`]
+//! derived from their `PatternSpec`: how many lines must be shared by how
+//! many tasks, how many migration hops (lock acquisitions) must occur, how
+//! many lines must be falsely shared, how the sync structure looks. This
+//! pass checks the *generated IR* against that declaration, closing the
+//! generator's own loop: a generator bug that silently produces programs
+//! not exhibiting the sharing pattern they claim would otherwise corrupt
+//! every experiment built on the corpus while remaining race-free and
+//! invisible to SC001..SC014.
+//!
+//! The check is purely structural — it walks op lists and counts, with no
+//! scheduling — so it is independent of both the happens-before and the
+//! lockset passes.
+
+use slipstream_kernel::FxHashMap;
+use slipstream_prog::{Op, Space};
+
+use crate::diag::{Diagnostic, Rule};
+use crate::verify::TaskProgram;
+
+/// One structural requirement of a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContractItem {
+    /// At least `min_lines` distinct shared lines are each accessed by at
+    /// least `min_tasks` distinct tasks (degree of sharing).
+    SharedLines { min_lines: usize, min_tasks: usize },
+    /// Every shared address that is written has exactly one writer task
+    /// (ownership discipline: producer-consumer, false sharing, read-mostly).
+    SingleWriterAddrs,
+    /// At least `min_lines` shared lines hold writes by at least
+    /// `min_writers` distinct tasks at *distinct* addresses — the false
+    /// sharing signature (line ping-pong without a data race).
+    FalseSharedLines { min_lines: usize, min_writers: usize },
+    /// Lock `lock` is acquired exactly `total` times across all tasks
+    /// (migratory data: each hop is one acquisition).
+    LockAcquires { lock: u32, total: u64 },
+    /// At least `min` lock acquisitions occur across all tasks.
+    MinLockAcquires { min: u64 },
+    /// Every task executes exactly `per_task` barrier operations.
+    BarriersPerTask { per_task: u64 },
+    /// Exactly `total` event posts and `total` event waits occur across
+    /// all tasks (producer-consumer handshakes).
+    EventHandshakes { total: u64 },
+    /// At least `min` `DivergeInA` ops occur across all tasks.
+    MinDivergeOps { min: u64 },
+}
+
+/// The structural contract a generated program set declares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternContract {
+    /// Pattern name, e.g. `"migratory"` (reported in diagnostics).
+    pub pattern: String,
+    /// Coherence line size used for line-granular items.
+    pub line_bytes: u64,
+    /// The requirements; all must hold.
+    pub items: Vec<ContractItem>,
+}
+
+/// Per-address / per-line / per-task statistics gathered in one walk.
+#[derive(Default)]
+struct Stats {
+    /// Shared line -> distinct accessor tasks (sorted small vec).
+    line_tasks: FxHashMap<u64, Vec<usize>>,
+    /// Written shared address -> distinct writer tasks.
+    addr_writers: FxHashMap<u64, Vec<usize>>,
+    /// Shared line -> distinct (writer task, addr) pairs.
+    line_writers: FxHashMap<u64, Vec<(usize, u64)>>,
+    /// Lock id -> total acquisitions.
+    lock_acquires: FxHashMap<u32, u64>,
+    /// Task -> barrier op count.
+    barriers: FxHashMap<usize, u64>,
+    posts: u64,
+    waits: u64,
+    diverges: u64,
+}
+
+fn push_unique<T: PartialEq>(v: &mut Vec<T>, x: T) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+fn collect(tasks: &[TaskProgram], line_bytes: u64) -> Stats {
+    let mut s = Stats::default();
+    let lb = line_bytes.max(1);
+    for tp in tasks {
+        for op in tp.prog.iter() {
+            match op {
+                Op::Load { addr, space: Space::Shared } => {
+                    push_unique(s.line_tasks.entry(addr.0 / lb).or_default(), tp.task);
+                }
+                Op::Store { addr, space: Space::Shared } => {
+                    push_unique(s.line_tasks.entry(addr.0 / lb).or_default(), tp.task);
+                    push_unique(s.addr_writers.entry(addr.0).or_default(), tp.task);
+                    push_unique(
+                        s.line_writers.entry(addr.0 / lb).or_default(),
+                        (tp.task, addr.0),
+                    );
+                }
+                Op::Lock(l) => *s.lock_acquires.entry(l.0).or_default() += 1,
+                Op::Barrier(_) => *s.barriers.entry(tp.task).or_default() += 1,
+                Op::EventPost(_) => s.posts += 1,
+                Op::EventWait(_) => s.waits += 1,
+                Op::DivergeInA(_) => s.diverges += 1,
+                _ => {}
+            }
+        }
+    }
+    s
+}
+
+/// Checks a task set against its declared contract; one SC015 error per
+/// violated item.
+pub fn verify_contract(tasks: &[TaskProgram], contract: &PatternContract) -> Vec<Diagnostic> {
+    let s = collect(tasks, contract.line_bytes);
+    let mut diags = Vec::new();
+    let mut fail = |msg: String| {
+        diags.push(Diagnostic::error(
+            Rule::PatternContract,
+            format!("pattern '{}': {msg}", contract.pattern),
+        ));
+    };
+    for item in &contract.items {
+        match item {
+            ContractItem::SharedLines { min_lines, min_tasks } => {
+                let got = s.line_tasks.values().filter(|t| t.len() >= *min_tasks).count();
+                if got < *min_lines {
+                    fail(format!(
+                        "expected >= {min_lines} shared lines with >= {min_tasks} accessor \
+                         tasks, found {got}"
+                    ));
+                }
+            }
+            ContractItem::SingleWriterAddrs => {
+                let mut multi: Vec<u64> = s
+                    .addr_writers
+                    .iter()
+                    .filter(|(_, w)| w.len() > 1)
+                    .map(|(a, _)| *a)
+                    .collect();
+                multi.sort_unstable();
+                if let Some(addr) = multi.first() {
+                    fail(format!(
+                        "expected single-writer ownership, but {} addresses have multiple \
+                         writer tasks (first: {addr:#x})",
+                        multi.len()
+                    ));
+                }
+            }
+            ContractItem::FalseSharedLines { min_lines, min_writers } => {
+                let got = s
+                    .line_writers
+                    .values()
+                    .filter(|ws| {
+                        let mut tasks: Vec<usize> = ws.iter().map(|(t, _)| *t).collect();
+                        tasks.sort_unstable();
+                        tasks.dedup();
+                        let mut addrs: Vec<u64> = ws.iter().map(|(_, a)| *a).collect();
+                        addrs.sort_unstable();
+                        addrs.dedup();
+                        tasks.len() >= *min_writers && addrs.len() >= *min_writers
+                    })
+                    .count();
+                if got < *min_lines {
+                    fail(format!(
+                        "expected >= {min_lines} falsely shared lines (>= {min_writers} \
+                         writer tasks at distinct addresses), found {got}"
+                    ));
+                }
+            }
+            ContractItem::LockAcquires { lock, total } => {
+                let got = s.lock_acquires.get(lock).copied().unwrap_or(0);
+                if got != *total {
+                    fail(format!("expected lock L{lock} acquired {total} times, found {got}"));
+                }
+            }
+            ContractItem::MinLockAcquires { min } => {
+                let got: u64 = s.lock_acquires.values().sum();
+                if got < *min {
+                    fail(format!("expected >= {min} lock acquisitions, found {got}"));
+                }
+            }
+            ContractItem::BarriersPerTask { per_task } => {
+                for tp in tasks {
+                    let got = s.barriers.get(&tp.task).copied().unwrap_or(0);
+                    if got != *per_task {
+                        fail(format!(
+                            "expected {per_task} barriers in task {}, found {got}",
+                            tp.task
+                        ));
+                        break;
+                    }
+                }
+            }
+            ContractItem::EventHandshakes { total } => {
+                if s.posts != *total || s.waits != *total {
+                    fail(format!(
+                        "expected {total} event posts and waits, found {} posts / {} waits",
+                        s.posts, s.waits
+                    ));
+                }
+            }
+            ContractItem::MinDivergeOps { min } => {
+                if s.diverges < *min {
+                    fail(format!("expected >= {min} DivergeInA ops, found {}", s.diverges));
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slipstream_prog::{BarrierId, EventId, InstanceId, LockId, ProgBuilder};
+    use slipstream_kernel::Addr;
+
+    fn tp(task: usize, ops: Vec<Op>) -> TaskProgram {
+        let mut b = ProgBuilder::new();
+        for op in ops {
+            b.op(op);
+        }
+        TaskProgram { task, inst: InstanceId(task as u32), prog: b.build("t") }
+    }
+
+    fn contract(items: Vec<ContractItem>) -> PatternContract {
+        PatternContract { pattern: "test".into(), line_bytes: 64, items }
+    }
+
+    #[test]
+    fn shared_lines_and_single_writer_hold() {
+        let tasks = vec![
+            tp(0, vec![Op::store_shared(Addr(64)), Op::Barrier(BarrierId(0))]),
+            tp(1, vec![Op::load_shared(Addr(64)), Op::Barrier(BarrierId(0))]),
+        ];
+        let c = contract(vec![
+            ContractItem::SharedLines { min_lines: 1, min_tasks: 2 },
+            ContractItem::SingleWriterAddrs,
+            ContractItem::BarriersPerTask { per_task: 1 },
+        ]);
+        assert!(verify_contract(&tasks, &c).is_empty());
+    }
+
+    #[test]
+    fn multiple_writers_break_single_writer() {
+        let tasks = vec![
+            tp(0, vec![Op::store_shared(Addr(64))]),
+            tp(1, vec![Op::store_shared(Addr(64))]),
+        ];
+        let c = contract(vec![ContractItem::SingleWriterAddrs]);
+        let d = verify_contract(&tasks, &c);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::PatternContract);
+    }
+
+    #[test]
+    fn false_sharing_needs_distinct_addrs_on_one_line() {
+        // Two tasks writing different words of line 1: falsely shared.
+        let fs = vec![
+            tp(0, vec![Op::store_shared(Addr(64))]),
+            tp(1, vec![Op::store_shared(Addr(72))]),
+        ];
+        let c = contract(vec![ContractItem::FalseSharedLines { min_lines: 1, min_writers: 2 }]);
+        assert!(verify_contract(&fs, &c).is_empty());
+        // Writes on separate lines do not count.
+        let split = vec![
+            tp(0, vec![Op::store_shared(Addr(64))]),
+            tp(1, vec![Op::store_shared(Addr(128))]),
+        ];
+        assert_eq!(verify_contract(&split, &c).len(), 1);
+    }
+
+    #[test]
+    fn lock_and_event_counts_are_exact() {
+        let tasks = vec![
+            tp(0, vec![Op::Lock(LockId(3)), Op::Unlock(LockId(3)), Op::EventPost(EventId(0))]),
+            tp(1, vec![Op::Lock(LockId(3)), Op::Unlock(LockId(3)), Op::EventWait(EventId(0))]),
+        ];
+        let ok = contract(vec![
+            ContractItem::LockAcquires { lock: 3, total: 2 },
+            ContractItem::MinLockAcquires { min: 2 },
+            ContractItem::EventHandshakes { total: 1 },
+        ]);
+        assert!(verify_contract(&tasks, &ok).is_empty());
+        let bad = contract(vec![ContractItem::LockAcquires { lock: 3, total: 4 }]);
+        assert_eq!(verify_contract(&tasks, &bad).len(), 1);
+    }
+
+    #[test]
+    fn diverge_minimum() {
+        let tasks = vec![tp(0, vec![Op::DivergeInA(100)])];
+        assert!(verify_contract(&tasks, &contract(vec![ContractItem::MinDivergeOps { min: 1 }]))
+            .is_empty());
+        assert_eq!(
+            verify_contract(&tasks, &contract(vec![ContractItem::MinDivergeOps { min: 2 }])).len(),
+            1
+        );
+    }
+}

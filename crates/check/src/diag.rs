@@ -63,6 +63,20 @@ pub enum Rule {
     /// SC012: a slipstream A-instance program diverges from its R-instance
     /// (shared addresses or sync structure depend on the instance).
     InstanceDivergence,
+    /// SC013: Eraser-style lockset violation — within one barrier phase, a
+    /// shared address is accessed by multiple tasks (at least one writing,
+    /// at least one access lock-protected) with no lock common to all of
+    /// the phase's accesses. Unlike SC001, this is independent of the
+    /// schedule the verifier happened to explore.
+    LocksetRace,
+    /// SC014: the acquired-while-holding relation contains a cycle — a
+    /// potential deadlock SC010's progress check can only observe when the
+    /// explored schedule actually wedges.
+    LockOrderCycle,
+    /// SC015: a generated program does not match its declared
+    /// `PatternSpec` contract (sharer counts, migration hops, false-sharing
+    /// line co-residency, sync structure).
+    PatternContract,
 }
 
 impl Rule {
@@ -81,6 +95,9 @@ impl Rule {
             Rule::SyncDeadlock => "SC010",
             Rule::UnmappedAddress => "SC011",
             Rule::InstanceDivergence => "SC012",
+            Rule::LocksetRace => "SC013",
+            Rule::LockOrderCycle => "SC014",
+            Rule::PatternContract => "SC015",
         }
     }
 
@@ -99,8 +116,31 @@ impl Rule {
             Rule::SyncDeadlock => "sync-deadlock",
             Rule::UnmappedAddress => "unmapped-address",
             Rule::InstanceDivergence => "instance-divergence",
+            Rule::LocksetRace => "lockset-race",
+            Rule::LockOrderCycle => "lock-order-cycle",
+            Rule::PatternContract => "pattern-contract",
         }
     }
+
+    /// Every static rule, in id order (used by the selftest coverage
+    /// check and the docs generator).
+    pub const ALL: [Rule; 15] = [
+        Rule::SharedRace,
+        Rule::PrivateIsolation,
+        Rule::BarrierMismatch,
+        Rule::LockAcrossBarrier,
+        Rule::UnlockWithoutLock,
+        Rule::LeakedLock,
+        Rule::UnbalancedEvents,
+        Rule::LayoutOverlap,
+        Rule::SpaceMismatch,
+        Rule::SyncDeadlock,
+        Rule::UnmappedAddress,
+        Rule::InstanceDivergence,
+        Rule::LocksetRace,
+        Rule::LockOrderCycle,
+        Rule::PatternContract,
+    ];
 }
 
 impl fmt::Display for Rule {

@@ -23,11 +23,15 @@
 //! The `check` binary fronts both; `docs/static-analysis.md` documents the
 //! rule catalogue.
 
+pub mod contract;
 pub mod diag;
+pub mod lockorder;
+pub mod lockset;
 pub mod mutations;
 pub mod protocol;
 pub mod verify;
 
+pub use contract::{verify_contract, ContractItem, PatternContract};
 pub use diag::{has_errors, json_escape, Diagnostic, Rule, Severity};
 pub use protocol::{
     run_checked, CheckCounts, CheckReport, CheckTracer, ProtoRule, ProtocolChecker, Violation,
@@ -38,11 +42,78 @@ use slipstream_core::Workload;
 use slipstream_kernel::config::MachineConfig;
 use slipstream_prog::{InstanceId, Layout};
 
+/// A workload's instantiated task programs, in the runner's layout.
+///
+/// Produced by [`instantiate_workload`]; callers that need the programs
+/// themselves (the pattern-contract check, the fuzz pipeline's structural
+/// reporting) use this instead of re-implementing the runner's
+/// instantiation conventions.
+pub struct TaskSet {
+    /// The layout all programs were built against.
+    pub layout: Layout,
+    /// Conventional tasks, or the R-stream set in slipstream mode.
+    pub r: Vec<TaskProgram>,
+    /// A-stream programs (one per task) in slipstream mode; empty for
+    /// conventional task sets.
+    pub a: Vec<TaskProgram>,
+}
+
+/// Instantiates a workload's task programs exactly the way the runner
+/// would for a run with `ntasks` tasks.
+///
+/// * `slipstream == false` — a conventional task set: instance `t` runs
+///   task `t` (covers both `Single` with `ntasks == nodes` and `Double`
+///   with `ntasks == 2 * nodes`).
+/// * `slipstream == true` — task `t`'s R-stream is instance `2t` and its
+///   A-stream instance `2t+1`, built in the runner's order (R then A per
+///   task) so private regions land at the same addresses the simulator
+///   would use.
+pub fn instantiate_workload(
+    workload: &dyn Workload,
+    page_bytes: u64,
+    ntasks: usize,
+    slipstream: bool,
+) -> TaskSet {
+    let mut layout = Layout::with_page_size(page_bytes);
+    let builder = workload.instantiate(ntasks, &mut layout);
+    if !slipstream {
+        let r: Vec<TaskProgram> = (0..ntasks)
+            .map(|t| {
+                let inst = InstanceId(t as u32);
+                TaskProgram { task: t, inst, prog: builder(&mut layout, inst, t) }
+            })
+            .collect();
+        TaskSet { layout, r, a: Vec::new() }
+    } else {
+        let mut r = Vec::with_capacity(ntasks);
+        let mut a = Vec::with_capacity(ntasks);
+        for t in 0..ntasks {
+            let r_inst = InstanceId(2 * t as u32);
+            r.push(TaskProgram { task: t, inst: r_inst, prog: builder(&mut layout, r_inst, t) });
+            let a_inst = InstanceId(2 * t as u32 + 1);
+            a.push(TaskProgram { task: t, inst: a_inst, prog: builder(&mut layout, a_inst, t) });
+        }
+        TaskSet { layout, r, a }
+    }
+}
+
+/// Runs the full static analysis over an instantiated task set: layout
+/// consistency, space discipline, happens-before (SC001..SC011), the
+/// lockset and lock-order passes (SC013/SC014), and — in slipstream
+/// mode — A/R skeleton identity per task (SC012).
+pub fn verify_task_set(set: &TaskSet) -> Vec<Diagnostic> {
+    let mut diags = verify_tasks(&set.layout, &set.r);
+    for (r, a) in set.r.iter().zip(&set.a) {
+        diags.extend(verify_pair(&set.layout, r, a));
+    }
+    diags
+}
+
 /// Statically verifies one workload's generated programs for a run with
-/// `ntasks` tasks.
+/// `ntasks` tasks under an explicit machine configuration.
 ///
 /// Mirrors the runner's instantiation conventions exactly (page size from
-/// the workload's machine config, instance-id assignment per mode):
+/// `cfg`, instance-id assignment per mode):
 ///
 /// * `slipstream == false` — a conventional task set: instance `t` runs
 ///   task `t` (covers both `Single` with `ntasks == nodes` and `Double`
@@ -53,6 +124,23 @@ use slipstream_prog::{InstanceId, Layout};
 ///   A program is additionally checked for private isolation and for
 ///   skeleton identity with its R program (rule `SC012`), which is what
 ///   licenses the A-stream to run ahead.
+pub fn verify_workload_with(
+    cfg: &MachineConfig,
+    workload: &dyn Workload,
+    ntasks: usize,
+    slipstream: bool,
+) -> Vec<Diagnostic> {
+    verify_task_set(&instantiate_workload(workload, cfg.page_bytes, ntasks, slipstream))
+}
+
+/// Statically verifies one workload's generated programs for a run with
+/// `ntasks` tasks, deriving the machine configuration the same way the
+/// runner does when no override is given (`MachineConfig::water` when the
+/// workload wants a small L2, the default otherwise).
+///
+/// Workloads that run under an explicit `MachineConfig` — generated
+/// programs in particular — should use [`verify_workload_with`] so the
+/// page size matches their run configuration.
 pub fn verify_workload(workload: &dyn Workload, ntasks: usize, slipstream: bool) -> Vec<Diagnostic> {
     let nodes = ntasks.max(1) as u16;
     let cfg = if workload.small_l2() {
@@ -60,31 +148,5 @@ pub fn verify_workload(workload: &dyn Workload, ntasks: usize, slipstream: bool)
     } else {
         MachineConfig::with_nodes(nodes)
     };
-    let mut layout = Layout::with_page_size(cfg.page_bytes);
-    let builder = workload.instantiate(ntasks, &mut layout);
-    if !slipstream {
-        let tasks: Vec<TaskProgram> = (0..ntasks)
-            .map(|t| {
-                let inst = InstanceId(t as u32);
-                TaskProgram { task: t, inst, prog: builder(&mut layout, inst, t) }
-            })
-            .collect();
-        verify_tasks(&layout, &tasks)
-    } else {
-        // Build in the runner's order (R then A per task) so private
-        // regions land at the same addresses the simulator would use.
-        let mut r_tasks = Vec::with_capacity(ntasks);
-        let mut a_tasks = Vec::with_capacity(ntasks);
-        for t in 0..ntasks {
-            let r_inst = InstanceId(2 * t as u32);
-            r_tasks.push(TaskProgram { task: t, inst: r_inst, prog: builder(&mut layout, r_inst, t) });
-            let a_inst = InstanceId(2 * t as u32 + 1);
-            a_tasks.push(TaskProgram { task: t, inst: a_inst, prog: builder(&mut layout, a_inst, t) });
-        }
-        let mut diags = verify_tasks(&layout, &r_tasks);
-        for (r, a) in r_tasks.iter().zip(&a_tasks) {
-            diags.extend(verify_pair(&layout, r, a));
-        }
-        diags
-    }
+    verify_workload_with(&cfg, workload, ntasks, slipstream)
 }

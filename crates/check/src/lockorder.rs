@@ -1,0 +1,251 @@
+//! Lock-order graph deadlock detector (rule SC014).
+//!
+//! The happens-before verifier's progress check (SC010) only reports a
+//! deadlock when the one schedule it explores actually wedges. The
+//! cooperative index-order scheduler rarely does: with two tasks nesting
+//! locks in opposite orders, task 0 usually completes its critical
+//! section before task 1 even starts, so SC010 stays silent while a real
+//! machine can interleave the acquisitions and deadlock.
+//!
+//! This pass builds the classic *acquired-while-holding* relation: an
+//! edge `a → b` is recorded whenever a task attempts to acquire lock `b`
+//! while holding lock `a` (the attempt counts even if the acquire
+//! blocks — that attempt is exactly the deadlock ingredient). A cycle in
+//! the graph means there exists a schedule in which every lock on the
+//! cycle is held by a task waiting for the next one. Each strongly
+//! connected component with a cycle is reported once as an SC014 error
+//! with one witness edge per participating lock.
+
+use slipstream_kernel::FxHashMap;
+
+use crate::diag::{Diagnostic, Rule};
+
+/// One recorded acquired-while-holding edge with its first witness.
+struct Edge {
+    to: u32,
+    /// Task and op index of the first acquisition attempt that created
+    /// this edge.
+    task: usize,
+    op: u64,
+}
+
+/// The acquired-while-holding graph, fed by the scheduler on every lock
+/// acquisition attempt.
+#[derive(Default)]
+pub struct LockOrder {
+    /// Adjacency: held lock -> edges to locks acquired under it.
+    edges: FxHashMap<u32, Vec<Edge>>,
+    /// Every lock id that appears in the graph (node set).
+    nodes: Vec<u32>,
+}
+
+impl LockOrder {
+    /// Records that `task` attempted to acquire `acquiring` (op index
+    /// `op`) while holding `held`. Call *before* the block/grant
+    /// decision: a blocked attempt is still an ordering commitment.
+    pub fn acquire(&mut self, task: usize, held: &[u32], acquiring: u32, op: u64) {
+        self.touch_node(acquiring);
+        for &h in held {
+            self.touch_node(h);
+            let out = self.edges.entry(h).or_default();
+            if !out.iter().any(|e| e.to == acquiring) {
+                out.push(Edge { to: acquiring, task, op });
+            }
+        }
+    }
+
+    fn touch_node(&mut self, lock: u32) {
+        if !self.nodes.contains(&lock) {
+            self.nodes.push(lock);
+        }
+    }
+
+    /// Finds cycles and reports each cyclic strongly connected component
+    /// as one SC014 error.
+    pub fn finish(&self, diags: &mut Vec<Diagnostic>) {
+        for scc in self.cyclic_sccs() {
+            // One witness edge per lock on the cycle keeps the message
+            // actionable without dumping the whole graph.
+            let mut witness = String::new();
+            let mut first_task = None;
+            let mut first_op = None;
+            for &from in &scc {
+                if let Some(out) = self.edges.get(&from) {
+                    if let Some(e) = out.iter().find(|e| scc.contains(&e.to)) {
+                        if !witness.is_empty() {
+                            witness.push_str(", ");
+                        }
+                        witness.push_str(&format!("task {} holds L{from} then takes L{}", e.task, e.to));
+                        if first_task.is_none() {
+                            first_task = Some(e.task);
+                            first_op = Some(e.op);
+                        }
+                    }
+                }
+            }
+            let locks: Vec<String> = scc.iter().map(|l| format!("L{l}")).collect();
+            let mut d = Diagnostic::error(
+                Rule::LockOrderCycle,
+                format!(
+                    "lock-order cycle over {{{}}}: {witness}; some interleaving deadlocks \
+                     even though the explored schedule completed",
+                    locks.join(", ")
+                ),
+            );
+            if let Some(t) = first_task {
+                d = d.at_task(t);
+            }
+            if let Some(o) = first_op {
+                d = d.at_op(o);
+            }
+            diags.push(d);
+        }
+    }
+
+    /// Tarjan's algorithm, iterative; returns SCCs that contain a cycle
+    /// (size >= 2, or a self-loop), each sorted by lock id. Components
+    /// are emitted in a deterministic order.
+    fn cyclic_sccs(&self) -> Vec<Vec<u32>> {
+        let mut nodes = self.nodes.clone();
+        nodes.sort_unstable();
+        let index_of: FxHashMap<u32, usize> =
+            nodes.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        let n = nodes.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut out = Vec::new();
+
+        // succ(v): successor node indices in sorted order (determinism).
+        let succ = |v: usize| -> Vec<usize> {
+            let mut s: Vec<usize> = self
+                .edges
+                .get(&nodes[v])
+                .map(|es| es.iter().map(|e| index_of[&e.to]).collect())
+                .unwrap_or_default();
+            s.sort_unstable();
+            s
+        };
+
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            // Explicit DFS stack of (node, next successor position).
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&(v, pos)) = call.last() {
+                if pos == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                let succs = succ(v);
+                if pos < succs.len() {
+                    call.last_mut().unwrap().1 += 1;
+                    let w = succs[pos];
+                    if index[w] == usize::MAX {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        let mut scc = Vec::new();
+                        loop {
+                            let w = stack.pop().unwrap();
+                            on_stack[w] = false;
+                            scc.push(nodes[w]);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        let cyclic = scc.len() > 1
+                            || self
+                                .edges
+                                .get(&scc[0])
+                                .is_some_and(|es| es.iter().any(|e| e.to == scc[0]));
+                        if cyclic {
+                            scc.sort_unstable();
+                            out.push(scc);
+                        }
+                    }
+                    call.pop();
+                    if let Some(&(p, _)) = call.last() {
+                        low[p] = low[p].min(low[v]);
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(lo: &LockOrder) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        lo.finish(&mut diags);
+        diags
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let mut lo = LockOrder::default();
+        lo.acquire(0, &[1], 2, 10);
+        lo.acquire(1, &[1], 2, 20);
+        lo.acquire(2, &[1, 2], 3, 30);
+        assert!(report(&lo).is_empty());
+    }
+
+    #[test]
+    fn two_lock_inversion_fires_once() {
+        let mut lo = LockOrder::default();
+        lo.acquire(0, &[1], 2, 10);
+        lo.acquire(1, &[2], 1, 20);
+        let d = report(&lo);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::LockOrderCycle);
+        assert!(d[0].message.contains("L1"));
+        assert!(d[0].message.contains("L2"));
+    }
+
+    #[test]
+    fn three_lock_cycle_is_one_component() {
+        let mut lo = LockOrder::default();
+        lo.acquire(0, &[1], 2, 1);
+        lo.acquire(1, &[2], 3, 2);
+        lo.acquire(2, &[3], 1, 3);
+        let d = report(&lo);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("L1, L2, L3"));
+    }
+
+    #[test]
+    fn self_nesting_is_a_self_loop() {
+        // Re-acquiring a held lock: the exec pass reports the wedge as
+        // SC010 in the explored schedule, but the order graph flags it
+        // schedule-independently too.
+        let mut lo = LockOrder::default();
+        lo.acquire(0, &[7], 7, 5);
+        let d = report(&lo);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("L7"));
+    }
+
+    #[test]
+    fn disjoint_cycles_report_separately() {
+        let mut lo = LockOrder::default();
+        lo.acquire(0, &[1], 2, 1);
+        lo.acquire(1, &[2], 1, 2);
+        lo.acquire(2, &[5], 6, 3);
+        lo.acquire(3, &[6], 5, 4);
+        assert_eq!(report(&lo).len(), 2);
+    }
+}

@@ -1,0 +1,259 @@
+//! Eraser-style lockset analysis (rule SC013).
+//!
+//! The happens-before pass in `verify.rs` explores exactly *one* schedule:
+//! tasks run in index order until they block. Lock release→acquire edges
+//! therefore depend on which task reached a lock first in that schedule,
+//! and a program whose safety depends on a particular acquisition order
+//! can look race-free to the vector clocks while racing under another
+//! interleaving. Lock *discipline* is schedule-independent, which is the
+//! classic Eraser observation: if every access to an address holds a
+//! common lock, no interleaving can race on it.
+//!
+//! This pass maintains, per shared address, the intersection of the lock
+//! sets held at each access ("candidate lockset"), refined with one piece
+//! of structure Eraser lacks: barrier generations. All tasks participate
+//! in every barrier (rule SC003 enforces this), so two accesses separated
+//! by a barrier are ordered no matter the schedule — the candidate set is
+//! reset whenever the address is next touched in a later generation, and
+//! only same-generation accesses refine it.
+//!
+//! SC013 fires when, within one barrier generation, an address is touched
+//! by two or more tasks, at least one access writes, at least one access
+//! held a lock (the program signals lock discipline for the address), and
+//! the candidate lockset still drains empty. Event-synchronized,
+//! never-locked addresses (producer/consumer hand-offs) are deliberately
+//! out of scope — they are the happens-before pass's job — so the rule
+//! adds schedule-independent coverage without flagging barrier- or
+//! event-disciplined programs.
+//!
+//! The pass also cross-validates the two analyses: an address the vector
+//! clocks report as racing (SC001) must also have lost its candidate
+//! lockset in some multi-task window, because lock edges are part of the
+//! happens-before order. A consistently locked address that still races
+//! means one of the passes regressed; that inconsistency is reported as
+//! an SC013 warning.
+
+use slipstream_kernel::FxHashMap;
+
+use crate::diag::{Diagnostic, Rule};
+
+/// Caps SC013 reports the same way SC001 caps race reports.
+const MAX_LOCKSET_REPORTS: usize = 50;
+
+/// Per-address lockset state for the current barrier-generation window.
+struct LsCell {
+    /// Barrier generation of the accesses contributing to this window.
+    gen: u64,
+    /// Candidate lockset: locks held at *every* access in the window.
+    cand: Vec<u32>,
+    /// A lock was held at some access in the window.
+    any_locked: bool,
+    /// Some access in the window wrote.
+    wrote: bool,
+    /// First task to touch the address in this window.
+    first_task: usize,
+    /// A second task has touched the address in this window.
+    multi_task: bool,
+    /// SC013 already reported for this address (dedup across windows).
+    reported: bool,
+    /// Some multi-task window drained the candidate set empty (used by
+    /// the SC001 cross-validation).
+    ever_lost: bool,
+}
+
+/// The lockset analysis, fed by the scheduler as it executes accesses.
+#[derive(Default)]
+pub struct Lockset {
+    cells: FxHashMap<u64, LsCell>,
+    reports: usize,
+    suppressed: u64,
+}
+
+impl Lockset {
+    /// Records one well-formed shared access and reports an SC013
+    /// violation if this access drains the window's candidate lockset.
+    ///
+    /// `gen` is the task's barrier generation (barriers crossed so far);
+    /// `held` is the set of lock ids the task holds at the access.
+    #[allow(clippy::too_many_arguments)] // mirrors the scheduler's access context
+    pub fn access(
+        &mut self,
+        task: usize,
+        addr: u64,
+        gen: u64,
+        held: &[u32],
+        is_write: bool,
+        op: u64,
+        diags: &mut Vec<Diagnostic>,
+    ) {
+        let cell = self.cells.entry(addr).or_insert_with(|| LsCell {
+            gen,
+            cand: held.to_vec(),
+            any_locked: !held.is_empty(),
+            wrote: is_write,
+            first_task: task,
+            multi_task: false,
+            reported: false,
+            ever_lost: false,
+        });
+        if cell.gen != gen {
+            // A barrier separates this access from the whole window:
+            // ordered regardless of schedule, so the window restarts.
+            cell.gen = gen;
+            cell.cand.clear();
+            cell.cand.extend_from_slice(held);
+            cell.any_locked = !held.is_empty();
+            cell.wrote = is_write;
+            cell.first_task = task;
+            cell.multi_task = false;
+            return;
+        }
+        cell.cand.retain(|l| held.contains(l));
+        cell.any_locked |= !held.is_empty();
+        cell.wrote |= is_write;
+        cell.multi_task |= task != cell.first_task;
+        if cell.multi_task && cell.cand.is_empty() {
+            cell.ever_lost = true;
+        }
+        if cell.multi_task && cell.wrote && cell.any_locked && cell.cand.is_empty() && !cell.reported
+        {
+            cell.reported = true;
+            if self.reports >= MAX_LOCKSET_REPORTS {
+                self.suppressed += 1;
+                return;
+            }
+            self.reports += 1;
+            diags.push(
+                Diagnostic::error(
+                    Rule::LocksetRace,
+                    format!(
+                        "inconsistent lock protection: tasks {} and {task} touch this \
+                         address in the same barrier phase (generation {gen}), at least \
+                         one write and one lock-protected access, but no lock is common \
+                         to all accesses",
+                        cell.first_task
+                    ),
+                )
+                .at_task(task)
+                .at_op(op)
+                .at_addr(addr),
+            );
+        }
+    }
+
+    /// End-of-run reporting: the suppression note and the SC001
+    /// cross-validation (any happens-before race must also have lost its
+    /// candidate lockset — lock edges are part of happens-before, so a
+    /// consistently locked address that still "races" means one of the
+    /// two analyses is wrong).
+    pub fn finish(&mut self, raced: impl Iterator<Item = u64>, diags: &mut Vec<Diagnostic>) {
+        if self.suppressed > 0 {
+            diags.push(Diagnostic::error(
+                Rule::LocksetRace,
+                format!(
+                    "{} additional lockset violations suppressed (cap {MAX_LOCKSET_REPORTS})",
+                    self.suppressed
+                ),
+            ));
+        }
+        let mut divergent: Vec<u64> = raced
+            .filter(|addr| {
+                self.cells
+                    .get(addr)
+                    .is_some_and(|c| c.multi_task && !c.ever_lost && !c.cand.is_empty())
+            })
+            .collect();
+        divergent.sort_unstable();
+        for addr in divergent {
+            diags.push(
+                Diagnostic::warning(
+                    Rule::LocksetRace,
+                    "lockset/happens-before divergence: address raced (SC001) yet kept a \
+                     consistent candidate lockset — verifier passes disagree"
+                        .to_string(),
+                )
+                .at_addr(addr),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags_for(accesses: &[(usize, u64, u64, &[u32], bool)]) -> Vec<Diagnostic> {
+        let mut ls = Lockset::default();
+        let mut diags = Vec::new();
+        for (i, &(task, addr, gen, held, w)) in accesses.iter().enumerate() {
+            ls.access(task, addr, gen, held, w, i as u64, &mut diags);
+        }
+        ls.finish(std::iter::empty(), &mut diags);
+        diags
+    }
+
+    #[test]
+    fn consistent_lock_is_clean() {
+        let d = diags_for(&[
+            (0, 64, 0, &[1], true),
+            (1, 64, 0, &[1], true),
+            (2, 64, 0, &[1, 2], false),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_lock_on_one_access_fires() {
+        let d = diags_for(&[(0, 64, 0, &[1], true), (1, 64, 0, &[], true)]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::LocksetRace);
+    }
+
+    #[test]
+    fn never_locked_addresses_are_out_of_scope() {
+        // Barrier/event-disciplined data: the HB pass owns this case.
+        let d = diags_for(&[(0, 64, 0, &[], true), (1, 64, 0, &[], true)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn barrier_generation_resets_the_window() {
+        // Writer under lock in generation 0; unlocked readers in
+        // generation 1 are barrier-ordered, not a discipline violation.
+        let d = diags_for(&[
+            (0, 64, 0, &[1], true),
+            (1, 64, 1, &[], false),
+            (2, 64, 1, &[], false),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn read_only_windows_are_clean() {
+        let d = diags_for(&[(0, 64, 0, &[1], false), (1, 64, 0, &[], false)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn one_report_per_address() {
+        let d = diags_for(&[
+            (0, 64, 0, &[1], true),
+            (1, 64, 0, &[], true),
+            (2, 64, 0, &[], true),
+        ]);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn crosscheck_flags_consistent_lockset_on_raced_address() {
+        let mut ls = Lockset::default();
+        let mut diags = Vec::new();
+        ls.access(0, 64, 0, &[1], true, 0, &mut diags);
+        ls.access(1, 64, 0, &[1], true, 1, &mut diags);
+        assert!(diags.is_empty());
+        ls.finish(std::iter::once(64), &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::LocksetRace);
+        assert_eq!(diags[0].severity, crate::Severity::Warning);
+    }
+}

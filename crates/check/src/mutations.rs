@@ -7,8 +7,9 @@
 //! silently stops detecting a class of bugs fails loudly.
 
 use slipstream_kernel::Addr;
-use slipstream_prog::{BarrierId, EventId, InstanceId, Layout, LockId, ProgBuilder};
+use slipstream_prog::{BarrierId, EventId, InstanceId, Layout, LockId, ProgBuilder, RegionKind};
 
+use crate::contract::{verify_contract, ContractItem, PatternContract};
 use crate::diag::{Diagnostic, Rule, Severity};
 use crate::verify::{verify_pair, verify_tasks, TaskProgram};
 
@@ -18,6 +19,8 @@ pub enum CaseKind {
     TaskSet,
     /// Compare `tasks[0]` (R) against `tasks[1]` (A) as a slipstream pair.
     Pair,
+    /// Check `tasks` against a declared pattern contract (SC015).
+    Contract(PatternContract),
 }
 
 /// One seeded-defect program set.
@@ -230,14 +233,103 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         });
     }
 
+    // SC008: a second region inserted on top of an allocated one (the
+    // public allocator can never produce this, so the case uses the raw
+    // insertion API layout fault-injection uses).
+    {
+        let mut layout = Layout::new();
+        let x = layout.shared("x", 128);
+        layout.insert_region_at("overlay", x.at_byte(64), 128, RegionKind::Shared);
+        let mut t0 = ProgBuilder::new();
+        t0.compute(1);
+        let mut t1 = ProgBuilder::new();
+        t1.compute(1);
+        cases.push(MutationCase {
+            name: "overlapping-regions",
+            expect: Rule::LayoutOverlap,
+            layout,
+            tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
+            kind: CaseKind::TaskSet,
+        });
+    }
+
+    // SC013: the consumer's lock was dropped. The event still orders the
+    // two accesses, so the one schedule the happens-before pass explores
+    // is race-free (no SC001) — only the schedule-independent lockset
+    // analysis sees the broken discipline.
+    {
+        let mut layout = Layout::new();
+        let x = layout.shared("x", 64);
+        let mut t0 = ProgBuilder::new();
+        t0.lock(LockId(0)).store_shared(x.at_byte(0)).unlock(LockId(0)).post(EventId(0));
+        let mut t1 = ProgBuilder::new();
+        t1.wait(EventId(0)).store_shared(x.at_byte(0)); // lock dropped here
+        cases.push(MutationCase {
+            name: "inconsistent-lockset",
+            expect: Rule::LocksetRace,
+            layout,
+            tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
+            kind: CaseKind::TaskSet,
+        });
+    }
+
+    // SC014: the two tasks nest the same pair of locks in opposite
+    // orders. The cooperative scheduler runs task 0's critical section to
+    // completion before task 1 starts, so SC010's progress check never
+    // observes the wedge — only the lock-order graph does.
+    {
+        let layout = Layout::new();
+        let mk = |first: u32, second: u32| {
+            let mut b = ProgBuilder::new();
+            b.lock(LockId(first))
+                .lock(LockId(second))
+                .compute(4)
+                .unlock(LockId(second))
+                .unlock(LockId(first));
+            b.build("m")
+        };
+        cases.push(MutationCase {
+            name: "lock-order-inversion",
+            expect: Rule::LockOrderCycle,
+            layout,
+            tasks: vec![task(0, 0, mk(0, 1)), task(1, 1, mk(1, 0))],
+            kind: CaseKind::TaskSet,
+        });
+    }
+
+    // SC015: the program acquires the migration lock half as often as its
+    // declared pattern contract promises (a generator that silently lost
+    // a round).
+    {
+        let mut layout = Layout::new();
+        let x = layout.shared("x", 64);
+        let mk = || {
+            let mut b = ProgBuilder::new();
+            b.lock(LockId(0)).load_shared(x.at_byte(0)).store_shared(x.at_byte(0)).unlock(LockId(0));
+            b.build("m")
+        };
+        cases.push(MutationCase {
+            name: "broken-pattern-contract",
+            expect: Rule::PatternContract,
+            layout,
+            tasks: vec![task(0, 0, mk()), task(1, 1, mk())],
+            kind: CaseKind::Contract(PatternContract {
+                pattern: "migratory".to_string(),
+                line_bytes: 64,
+                items: vec![ContractItem::LockAcquires { lock: 0, total: 4 }],
+            }),
+        });
+    }
+
     cases
 }
 
 /// Runs one case through the appropriate verifier entry point.
 pub fn run_case(case: &MutationCase) -> Vec<Diagnostic> {
-    match case.kind {
+    match &case.kind {
         CaseKind::TaskSet => verify_tasks(&case.layout, &case.tasks),
         CaseKind::Pair => verify_pair(&case.layout, &case.tasks[0], &case.tasks[1]),
+        CaseKind::Contract(c) => verify_contract(&case.tasks, c),
     }
 }
 

@@ -22,6 +22,8 @@ use slipstream_kernel::{Addr, FxHashMap};
 use slipstream_prog::{InstanceId, Layout, Op, Program, RegionKind, Space};
 
 use crate::diag::{Diagnostic, Rule};
+use crate::lockorder::LockOrder;
+use crate::lockset::Lockset;
 
 /// One task's program together with the identity it was built under.
 pub struct TaskProgram {
@@ -81,6 +83,10 @@ struct TaskState {
     vc: Vc,
     /// Locks currently held: `(lock id, acquire op index)`.
     held: Vec<(u32, u64)>,
+    /// Barrier generation: barriers this task has crossed. Accesses in
+    /// different generations are ordered regardless of schedule, which
+    /// the lockset pass uses to bound its windows.
+    gen: u64,
     finished: bool,
 }
 
@@ -103,6 +109,12 @@ struct Verifier<'a> {
     suppressed_races: u64,
     /// `(rule tag, task, key)` dedup for layout/space findings.
     seen: FxHashMap<(u8, usize, u64), ()>,
+    /// Eraser-style lockset analysis (SC013), fed alongside the
+    /// happens-before cells.
+    lockset: Lockset,
+    /// Acquired-while-holding graph (SC014), fed on every acquisition
+    /// attempt.
+    lockorder: LockOrder,
     diags: Vec<Diagnostic>,
 }
 
@@ -122,6 +134,7 @@ impl<'a> Verifier<'a> {
                     blocked: None,
                     vc,
                     held: Vec::new(),
+                    gen: 0,
                     finished: false,
                 }
             })
@@ -137,6 +150,8 @@ impl<'a> Verifier<'a> {
             raced: FxHashMap::default(),
             suppressed_races: 0,
             seen: FxHashMap::default(),
+            lockset: Lockset::default(),
+            lockorder: LockOrder::default(),
             diags: Vec::new(),
         }
     }
@@ -219,16 +234,24 @@ impl<'a> Verifier<'a> {
             Op::Load { addr, space } => {
                 if self.check_space(t, self.insts[t], addr, space, idx) {
                     self.on_read(t, addr, idx);
+                    self.feed_lockset(t, addr, false, idx);
                 }
                 true
             }
             Op::Store { addr, space } => {
                 if self.check_space(t, self.insts[t], addr, space, idx) {
                     self.on_write(t, addr, idx);
+                    self.feed_lockset(t, addr, true, idx);
                 }
                 true
             }
             Op::Lock(l) => {
+                // Record the acquired-while-holding edge before the grant
+                // decision: a blocked attempt is still an ordering
+                // commitment (and the very ingredient of a deadlock).
+                // Re-attempts after blocking are deduplicated inside.
+                let held: Vec<u32> = self.tasks[t].held.iter().map(|&(id, _)| id).collect();
+                self.lockorder.acquire(t, &held, l.0, idx);
                 let st = self.locks.entry(l.0).or_insert_with(|| LockState {
                     holder: None,
                     release_vc: vec![0; self.tasks.len()],
@@ -296,6 +319,7 @@ impl<'a> Verifier<'a> {
                     for &w in released.iter().chain(std::iter::once(&t)) {
                         self.tasks[w].vc = joined.clone();
                         self.tasks[w].vc[w] += 1;
+                        self.tasks[w].gen += 1;
                     }
                     for w in released {
                         // The waiter's pending Barrier op is now satisfied.
@@ -348,6 +372,13 @@ impl<'a> Verifier<'a> {
             &mut self.seen,
             &mut self.diags,
         )
+    }
+
+    /// Feeds one well-formed shared access to the lockset pass (SC013).
+    fn feed_lockset(&mut self, t: usize, addr: Addr, is_write: bool, idx: u64) {
+        let held: Vec<u32> = self.tasks[t].held.iter().map(|&(id, _)| id).collect();
+        let gen = self.tasks[t].gen;
+        self.lockset.access(t, addr.0, gen, &held, is_write, idx, &mut self.diags);
     }
 
     fn on_read(&mut self, t: usize, addr: Addr, idx: u64) {
@@ -510,6 +541,10 @@ impl<'a> Verifier<'a> {
                 format!("{n} post(s) to event {e} never consumed by a wait"),
             ));
         }
+        self.lockorder.finish(&mut self.diags);
+        let raced: Vec<u64> = self.raced.keys().copied().collect();
+        let mut lockset = std::mem::take(&mut self.lockset);
+        lockset.finish(raced.into_iter(), &mut self.diags);
     }
 }
 

@@ -37,19 +37,7 @@ fn corpus_covers_every_static_rule() {
     // One case per rule keeps the corpus honest: adding a rule without a
     // seeded defect that proves it fires should not pass review.
     let covered: Vec<Rule> = mutation_cases().into_iter().map(|c| c.expect).collect();
-    for rule in [
-        Rule::SharedRace,
-        Rule::PrivateIsolation,
-        Rule::BarrierMismatch,
-        Rule::LockAcrossBarrier,
-        Rule::UnlockWithoutLock,
-        Rule::LeakedLock,
-        Rule::UnbalancedEvents,
-        Rule::SpaceMismatch,
-        Rule::SyncDeadlock,
-        Rule::UnmappedAddress,
-        Rule::InstanceDivergence,
-    ] {
+    for rule in Rule::ALL {
         assert!(
             covered.contains(&rule),
             "no mutation case exercises {} ({})",

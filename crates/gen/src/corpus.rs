@@ -1,0 +1,94 @@
+//! The committed corpus: a fixed master seed expanding to a deterministic
+//! program list that CI and the differential tests pin against.
+//!
+//! `(CORPUS_SEED, i)` fully determines program `i`: its per-program seed,
+//! its pattern (round-robin over [`Pattern::ALL`]), and its sampled
+//! [`PatternSpec`]. Reproduce any corpus entry with
+//! `fuzz --seed <CORPUS_SEED> --count <i+1>` or [`corpus_entry`].
+
+use slipstream_kernel::SplitMix64;
+
+use crate::{GenWorkload, Mutation, Pattern, PatternSpec};
+
+/// Master seed of the committed corpus.
+pub const CORPUS_SEED: u64 = 0x5119_5EED;
+
+/// Size of the committed corpus: 36 programs per pattern.
+pub const CORPUS_COUNT: usize = 216;
+
+/// The per-program seed for corpus entry `i` under `master`.
+pub fn program_seed(master: u64, i: usize) -> u64 {
+    // SplitMix-style index whitening keeps per-program seeds independent
+    // while leaving each reproducible from (master, i) alone.
+    SplitMix64::new(master ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)).next_u64()
+}
+
+/// The pattern of corpus entry `i` (round-robin over [`Pattern::ALL`]).
+pub fn program_pattern(i: usize) -> Pattern {
+    Pattern::ALL[i % Pattern::ALL.len()]
+}
+
+/// The spec of corpus entry `i` under `master`.
+pub fn program_spec(master: u64, i: usize) -> PatternSpec {
+    let mut rng = SplitMix64::new(program_seed(master, i));
+    PatternSpec::sample(program_pattern(i), &mut rng)
+}
+
+/// Corpus entry `i` under `master`, as a runnable clean workload.
+pub fn corpus_entry(master: u64, i: usize) -> GenWorkload {
+    GenWorkload::new(program_spec(master, i), program_seed(master, i))
+}
+
+/// The first `count` corpus entries under `master`.
+pub fn corpus(master: u64, count: usize) -> Vec<GenWorkload> {
+    (0..count).map(|i| corpus_entry(master, i)).collect()
+}
+
+/// Mutant `i` under `master`: cycles through [`Mutation::ALL`], pairing
+/// each mutation with a fresh spec of its target pattern.
+pub fn mutant_entry(master: u64, i: usize) -> GenWorkload {
+    let m = Mutation::ALL[i % Mutation::ALL.len()];
+    // Offset the seed stream so mutants don't alias clean entries.
+    let seed = program_seed(master ^ 0x4d55_5441_4e54, i);
+    let mut rng = SplitMix64::new(seed);
+    let mut spec = PatternSpec::sample(m.pattern(), &mut rng);
+    if m == Mutation::SwapLockOrder {
+        // The inverted nesting only exists inside lock phases; make sure
+        // the sampled phase script contains some.
+        spec.lock_mix_pct = 100;
+    }
+    GenWorkload::mutated(spec, seed, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slipstream_core::Workload as _;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = corpus_entry(CORPUS_SEED, 17);
+        let b = corpus_entry(CORPUS_SEED, 17);
+        assert_eq!(a.spec(), b.spec());
+        assert_eq!(a.seed(), b.seed());
+        assert_eq!(a.name(), b.name());
+    }
+
+    #[test]
+    fn corpus_spans_all_patterns() {
+        let ws = corpus(CORPUS_SEED, Pattern::ALL.len());
+        for (w, p) in ws.iter().zip(Pattern::ALL) {
+            assert_eq!(w.spec().pattern, p);
+            assert!(w.name().starts_with(&format!("gen:{}:", p.key())));
+        }
+    }
+
+    #[test]
+    fn mutants_cycle_all_mutations() {
+        for (i, m) in Mutation::ALL.into_iter().enumerate() {
+            let w = mutant_entry(CORPUS_SEED, i);
+            assert_eq!(w.mutation(), Some(m));
+            assert_eq!(w.spec().pattern, m.pattern());
+        }
+    }
+}

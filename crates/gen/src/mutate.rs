@@ -1,0 +1,137 @@
+//! Seeded mutations: one planted bug per generated program.
+//!
+//! Each [`Mutation`] breaks exactly one discipline a clean generated
+//! program upholds, targeting the pattern whose structure makes the bug
+//! expressible — and, for the newer rules, makes it *invisible* to the
+//! older passes (e.g. [`Mutation::StripLock`] removes a lock around an
+//! access the explored schedule still orders, so only the lockset pass
+//! SC013 can flag it). The fuzz pipeline and the generator tests assert
+//! every mutation is caught with its expected rule, which is what makes
+//! the clean corpus's "zero diagnostics" result trustworthy.
+
+use slipstream_check::Rule;
+
+use crate::spec::Pattern;
+
+/// One planted defect class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Remove task 0's last event post: the consumer waits forever.
+    DropPost,
+    /// Remove task 0's last barrier: everyone else strands there.
+    DropBarrier,
+    /// Remove task 0's last unlock: the lock leaks (and others starve).
+    DropUnlock,
+    /// Remove the lock/unlock around task 0's first access to record 0,
+    /// keeping the accesses. The explored schedule still orders the
+    /// accesses through task 0's later lock releases, so SC001 stays
+    /// silent — only the schedule-independent lockset analysis sees it.
+    StripLock,
+    /// The last task writes task 0's word with no synchronization.
+    StealWrite,
+    /// Task 0 nests the sync-heavy lock pair in descending order while
+    /// everyone else ascends: a cross-task lock-order cycle that the
+    /// cooperative schedule never wedges on.
+    SwapLockOrder,
+    /// Suppress every `DivergeInA` op a diverge-laced spec promises.
+    BreakContract,
+    /// The last task loads another instance's private scratch region.
+    CrossPrivate,
+    /// Task 0 loads an address outside every layout region.
+    UnmappedLoad,
+    /// Shared access addresses shift by 8 bytes on odd (A-stream)
+    /// instances: the A/R skeleton diverges.
+    SkewAStream,
+}
+
+impl Mutation {
+    /// Every mutation, in a stable order.
+    pub const ALL: [Mutation; 10] = [
+        Mutation::DropPost,
+        Mutation::DropBarrier,
+        Mutation::DropUnlock,
+        Mutation::StripLock,
+        Mutation::StealWrite,
+        Mutation::SwapLockOrder,
+        Mutation::BreakContract,
+        Mutation::CrossPrivate,
+        Mutation::UnmappedLoad,
+        Mutation::SkewAStream,
+    ];
+
+    /// Short stable key used in reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            Mutation::DropPost => "drop-post",
+            Mutation::DropBarrier => "drop-barrier",
+            Mutation::DropUnlock => "drop-unlock",
+            Mutation::StripLock => "strip-lock",
+            Mutation::StealWrite => "steal-write",
+            Mutation::SwapLockOrder => "swap-lock-order",
+            Mutation::BreakContract => "break-contract",
+            Mutation::CrossPrivate => "cross-private",
+            Mutation::UnmappedLoad => "unmapped-load",
+            Mutation::SkewAStream => "skew-a-stream",
+        }
+    }
+
+    /// The pattern whose structure this mutation targets.
+    pub fn pattern(self) -> Pattern {
+        match self {
+            Mutation::DropPost | Mutation::UnmappedLoad => Pattern::ProducerConsumer,
+            Mutation::DropUnlock | Mutation::StripLock => Pattern::Migratory,
+            Mutation::StealWrite => Pattern::FalseSharing,
+            Mutation::DropBarrier | Mutation::CrossPrivate | Mutation::SkewAStream => {
+                Pattern::ReadMostly
+            }
+            Mutation::SwapLockOrder => Pattern::SyncHeavy,
+            Mutation::BreakContract => Pattern::DivergeLaced,
+        }
+    }
+
+    /// The static rule that must flag the mutant at `Error` severity.
+    pub fn expected_rule(self) -> Rule {
+        match self {
+            Mutation::DropPost => Rule::UnbalancedEvents,
+            Mutation::DropBarrier => Rule::BarrierMismatch,
+            Mutation::DropUnlock => Rule::LeakedLock,
+            Mutation::StripLock => Rule::LocksetRace,
+            Mutation::StealWrite => Rule::SharedRace,
+            Mutation::SwapLockOrder => Rule::LockOrderCycle,
+            Mutation::BreakContract => Rule::PatternContract,
+            Mutation::CrossPrivate => Rule::PrivateIsolation,
+            Mutation::UnmappedLoad => Rule::UnmappedAddress,
+            Mutation::SkewAStream => Rule::InstanceDivergence,
+        }
+    }
+
+    /// Whether the mutant must be verified under slipstream instantiation
+    /// (the defect only exists across R/A instance pairs).
+    pub fn needs_slipstream(self) -> bool {
+        matches!(self, Mutation::SkewAStream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_mutation_targets_a_distinct_rule() {
+        let mut rules: Vec<&str> = Mutation::ALL.iter().map(|m| m.expected_rule().id()).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        assert_eq!(rules.len(), Mutation::ALL.len());
+    }
+
+    #[test]
+    fn all_patterns_are_exercised_by_mutations() {
+        for p in Pattern::ALL {
+            assert!(
+                Mutation::ALL.iter().any(|m| m.pattern() == p),
+                "no mutation targets pattern {}",
+                p.key()
+            );
+        }
+    }
+}

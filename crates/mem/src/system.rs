@@ -1666,24 +1666,32 @@ impl MemSystem {
     ) {
         let n = self.local(node);
         let home = self.home.home_of_line(line, self.line_bytes);
-        let have = {
+        // `was_excl` can be false here: a self-invalidation downgrade may
+        // already have demoted the copy while its `DowngradeWb` races this
+        // intervention to the home. The data reply proceeds either way;
+        // only the downgrade observation is conditional (the hook reports
+        // transitions out of exclusivity, and there is none to report).
+        let (have, was_excl) = {
             let st = &mut self.nodes[n];
             if let Some(entry) = st.l2.get_mut(line) {
                 if let Some(d) = entry.l1_dirty.take() {
                     st.l1[d as usize].downgrade(line);
                 }
+                let was_excl = entry.state == L2State::Exclusive;
                 entry.state = L2State::Shared;
                 entry.dirty = false;
                 entry.si_flag = false;
                 entry.wrote_in_cs = false;
-                true
+                (true, was_excl)
             } else {
-                false
+                (false, false)
             }
         };
         if have {
-            if let Some(t) = self.tracer.as_deref_mut() {
-                t.l2_downgrade(now, node, line);
+            if was_excl {
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.l2_downgrade(now, node, line);
+                }
             }
             let data = Msg {
                 src: node,

@@ -173,6 +173,26 @@ impl Layout {
         ArrayRef { base, bytes, elem_bytes: 1 }
     }
 
+    /// Inserts a region at an explicit base address, bypassing the
+    /// sequential allocator — no page alignment, no overlap avoidance.
+    ///
+    /// The allocating methods can never produce an ill-formed layout, so
+    /// tooling that must construct one (the verifier's SC008 selftest
+    /// case, layout fault-injection) uses this instead. Simulator
+    /// workloads should always allocate through [`Layout::shared`],
+    /// [`Layout::shared_owned`], or [`Layout::private`].
+    pub fn insert_region_at(
+        &mut self,
+        name: &str,
+        base: Addr,
+        bytes: u64,
+        kind: RegionKind,
+    ) -> ArrayRef {
+        assert!(bytes > 0, "cannot allocate an empty region");
+        self.regions.push(RegionInfo { name: name.to_string(), base, bytes, kind });
+        ArrayRef { base, bytes, elem_bytes: 1 }
+    }
+
     /// The allocated regions, in allocation order.
     pub fn regions(&self) -> &[RegionInfo] {
         &self.regions

@@ -16,9 +16,12 @@
 //!   synchronization, A-stream reduction and recovery, and the machine
 //!   runner;
 //! * [`workloads`] — the paper's nine benchmarks (Table 2);
-//! * [`check`] — correctness tooling: the static happens-before verifier
-//!   for generated programs and the dynamic coherence-protocol invariant
-//!   checker (see `docs/static-analysis.md`).
+//! * [`check`] — correctness tooling: the static happens-before,
+//!   lockset, lock-order, and pattern-contract verifier for generated
+//!   programs and the dynamic coherence-protocol invariant checker (see
+//!   `docs/static-analysis.md`);
+//! * [`gen`] — the seeded sharing-pattern program generator and mutation
+//!   engine behind the `fuzz` differential-testing binary.
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -44,6 +47,7 @@
 
 pub use slipstream_check as check;
 pub use slipstream_core as core;
+pub use slipstream_gen as gen;
 pub use slipstream_kernel as kernel;
 pub use slipstream_mem as mem;
 pub use slipstream_prog as prog;
