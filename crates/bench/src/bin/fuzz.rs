@@ -14,9 +14,16 @@
 //! 3. **Checked-run agreement** — a protocol-checked run (single and
 //!    slipstream+si) reports zero violations and a bit-identical
 //!    [`RunResult`] to the unchecked serial run.
+//! 4. **Analyzer containment** — the static sharing analyzer's traffic
+//!    bounds contain the measured `MemStats` counters of an instrumented
+//!    single-mode run, and every region's observed sharing class matches
+//!    the predicted class's observable projection
+//!    (`slipstream_check::cross_validate_with`).
 //!
 //! Then every seeded mutation is re-checked: the planted bug must be
-//! caught by its expected rule at `Error` severity.
+//! caught by its expected rule at its expected severity (`Error` for the
+//! `SC*` correctness rules, `Warning` for the analyzer's `SP*` lints,
+//! which class-shifting mutations target).
 //!
 //! Usage: `fuzz [--seed S] [--count N] [--nodes N] [--threads K]
 //!              [--mutants M] [--quick] [--json PATH] [--quiet]`
@@ -39,7 +46,8 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use slipstream_check::{
-    instantiate_workload, run_checked, verify_contract, verify_task_set, Severity,
+    analyze_tasks, cross_validate_with, instantiate_workload, run_checked, verify_contract,
+    verify_task_set, AnalysisConfig, Severity, ValidationReport,
 };
 use slipstream_core::{
     run, ArSyncMode, ExecMode, MachineConfig, RunResult, RunSpec, SlipstreamConfig, Workload,
@@ -195,7 +203,30 @@ struct ProgramReport {
     seed: u64,
     spec_json: String,
     cycles: Vec<(&'static str, u64)>,
+    /// Static-vs-dynamic validation report (absent when the program failed
+    /// the static stage and was never simulated).
+    validation: Option<ValidationReport>,
     ok: bool,
+}
+
+/// Analyzer containment stage: cross-validate one clean program at the
+/// fuzz node count. Returns the report plus failure descriptions.
+fn validation_stage(
+    w: &GenWorkload,
+    cfg: &MachineConfig,
+    nodes: u16,
+) -> (ValidationReport, Vec<String>) {
+    let acfg = AnalysisConfig { line_bytes: cfg.l2.line_bytes, ..AnalysisConfig::default() };
+    let report = cross_validate_with(cfg, w, nodes as usize, &acfg);
+    let fails = if report.ok {
+        Vec::new()
+    } else {
+        vec![format!(
+            "validation: {}",
+            report.first_failure().unwrap_or_else(|| w.name().to_string())
+        )]
+    };
+    (report, fails)
 }
 
 fn main() -> ExitCode {
@@ -209,6 +240,7 @@ fn main() -> ExitCode {
         let w = corpus_entry(args.seed, i);
         let mut fails = static_failures(&w, &cfg, args.nodes);
         let mut cycles = Vec::new();
+        let mut validation = None;
         if fails.is_empty() {
             // Simulate only statically clean programs: a verifier failure
             // already fails the run, and the engines' behaviour on broken
@@ -219,6 +251,9 @@ fn main() -> ExitCode {
                 cycles.push((*mode, c));
                 fails.extend(f);
             }
+            let (report, f) = validation_stage(&w, &cfg, args.nodes);
+            validation = Some(report);
+            fails.extend(f);
         }
         let ok = fails.is_empty();
         if !args.quiet {
@@ -235,6 +270,7 @@ fn main() -> ExitCode {
             seed: w.seed(),
             spec_json: w.spec().to_json(),
             cycles,
+            validation,
             ok,
         });
         failures.extend(fails);
@@ -250,8 +286,12 @@ fn main() -> ExitCode {
         let set = instantiate_workload(&w, cfg.page_bytes, ntasks, m.needs_slipstream());
         let mut diags = verify_task_set(&set);
         diags.extend(verify_contract(&set.r, &w.contract(ntasks)));
-        let caught =
-            diags.iter().any(|d| d.rule == rule && d.severity == Severity::Error);
+        // Class-shifting mutations are race-free; only the analyzer's SP*
+        // lints can see them, so its diagnostics join the kill pipeline.
+        let acfg = AnalysisConfig { line_bytes: cfg.l2.line_bytes, ..AnalysisConfig::default() };
+        diags.extend(analyze_tasks(&set.layout, &set.r, &acfg).diagnostics);
+        let severity = m.expected_severity();
+        let caught = diags.iter().any(|d| d.rule == rule && d.severity == severity);
         if caught {
             mutants_caught += 1;
         } else {
@@ -310,7 +350,7 @@ fn render_json(
     let mut s = String::new();
     let _ = write!(
         s,
-        "{{\n  \"schema\": \"slipstream-fuzz/1\",\n  \"seed\": {},\n  \"count\": {},\n  \
+        "{{\n  \"schema\": \"slipstream-fuzz/2\",\n  \"seed\": {},\n  \"count\": {},\n  \
          \"nodes\": {},\n  \"threads\": {},\n  \"programs\": [",
         args.seed, args.count, args.nodes, args.threads
     );
@@ -321,10 +361,12 @@ fn render_json(
             .map(|(m, c)| format!("\"{m}\":{c}"))
             .collect::<Vec<_>>()
             .join(",");
+        let validation =
+            p.validation.as_ref().map_or_else(|| "null".to_string(), |v| v.to_json());
         let _ = write!(
             s,
             "{}\n    {{\"i\":{i},\"name\":\"{}\",\"seed\":{},\"spec\":{},\"ok\":{},\
-             \"cycles\":{{{cycles}}}}}",
+             \"cycles\":{{{cycles}}},\"validation\":{validation}}}",
             if i == 0 { "" } else { "," },
             p.name,
             p.seed,

@@ -6,20 +6,23 @@
 //! check --selftest                                            verifier self-test
 //! check --dynamic [--quick] [--bench NAME] [--nodes N]
 //!       [--mode single|double|slipstream|slipstream+si] [--json]
+//! check --explain CODE                                        rule catalogue
 //! ```
 //!
 //! The static lint walks every workload's generated programs (conventional
 //! and slipstream instantiations at each task count) through the
 //! happens-before verifier. `--selftest` runs the seeded-mutation corpus
 //! and fails unless every planted defect is caught. `--dynamic` runs real
-//! simulations with the coherence invariant checker attached.
+//! simulations with the coherence invariant checker attached. `--explain`
+//! prints the catalogue entry for one rule id — `SCxxx` (static verifier),
+//! `SPxxx` (sharing analyzer), or `PCxxx` (protocol checker).
 //!
 //! Exit status: 0 clean, 1 findings (error-severity diagnostics, selftest
 //! failures, or protocol violations), 2 usage error.
 
 use std::process::ExitCode;
 
-use slipstream_check::{has_errors, mutations, run_checked, Severity};
+use slipstream_check::{has_errors, mutations, run_checked, ProtoRule, Rule, Severity};
 use slipstream_core::{ArSyncMode, ExecMode, RunSpec, SlipstreamConfig, Workload};
 use slipstream_workloads::{by_name, paper_suite, quick_suite};
 
@@ -30,6 +33,7 @@ struct Cli {
     json: bool,
     selftest: bool,
     dynamic: bool,
+    explain: Option<String>,
     nodes: u16,
     mode: String,
 }
@@ -43,6 +47,7 @@ impl Cli {
             json: false,
             selftest: false,
             dynamic: false,
+            explain: None,
             nodes: 2,
             mode: "slipstream+si".to_string(),
         };
@@ -56,6 +61,7 @@ impl Cli {
                 "--json" => cli.json = true,
                 "--selftest" => cli.selftest = true,
                 "--dynamic" => cli.dynamic = true,
+                "--explain" => cli.explain = Some(value("--explain")?),
                 "--bench" => cli.bench = Some(value("--bench")?),
                 "--nodes" => {
                     cli.nodes = value("--nodes")?
@@ -75,7 +81,7 @@ impl Cli {
                 other => {
                     return Err(format!(
                         "unknown flag {other}; supported: --quick --bench NAME --tasks N,N \
-                         --json --selftest --dynamic --nodes N --mode MODE"
+                         --json --selftest --dynamic --explain CODE --nodes N --mode MODE"
                     ))
                 }
             }
@@ -209,6 +215,37 @@ fn dynamic(cli: &Cli) -> Result<bool, String> {
     Ok(clean)
 }
 
+/// Prints the catalogue entry for one rule id (`SC*`/`SP*` from the
+/// static passes, `PC*` from the protocol checker). The lookup is
+/// case-insensitive; an unknown code is a usage error.
+fn explain(cli: &Cli, code: &str) -> Result<bool, String> {
+    let want = code.to_ascii_uppercase();
+    let entry = Rule::ALL
+        .iter()
+        .find(|r| r.id() == want)
+        .map(|r| (r.id(), r.name(), r.explain()))
+        .or_else(|| {
+            ProtoRule::ALL
+                .iter()
+                .find(|r| r.id() == want)
+                .map(|r| (r.id(), r.name(), r.explain()))
+        });
+    match entry {
+        Some((id, name, text)) => {
+            if cli.json {
+                println!(
+                    "{{\"rule\":\"{id}\",\"name\":\"{name}\",\"explanation\":\"{}\"}}",
+                    slipstream_check::json_escape(text)
+                );
+            } else {
+                println!("{id} ({name})\n\n{text}");
+            }
+            Ok(true)
+        }
+        None => Err(format!("unknown rule code `{code}` (expected an SCxxx, SPxxx, or PCxxx id)")),
+    }
+}
+
 fn main() -> ExitCode {
     let cli = match Cli::parse() {
         Ok(cli) => cli,
@@ -217,7 +254,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let outcome = if cli.selftest {
+    let outcome = if let Some(code) = &cli.explain {
+        explain(&cli, code)
+    } else if cli.selftest {
         Ok(selftest(&cli))
     } else if cli.dynamic {
         dynamic(&cli)

@@ -77,6 +77,29 @@ pub enum Rule {
     /// `PatternSpec` contract (sharer counts, migration hops, false-sharing
     /// line co-residency, sync structure).
     PatternContract,
+    /// SP001: two or more tasks write distinct words of the same cache
+    /// line — false sharing; the line ping-pongs even though no word is
+    /// actually shared.
+    FalseSharing,
+    /// SP002: a read-mostly region (reads ≥ 4× writes, ≥ 2 reader tasks)
+    /// is written in a phase where other tasks are concurrently reading
+    /// it, invalidating many cached copies at once.
+    ReadMostlyWrite,
+    /// SP003: three or more tasks read-modify-write the same line under a
+    /// common lock — migratory data whose exclusive copy serializes behind
+    /// lock contention.
+    ContendedMigratory,
+    /// SP004: a task re-reads a multi-task line in a later barrier phase
+    /// with no intervening write — self-invalidation would discard a copy
+    /// that was still valid (an SI misfire, §4).
+    SiHostile,
+    /// SP005: under a limited-pointer directory, a written line has more
+    /// accessor tasks than the directory has pointers — every invalidation
+    /// becomes a broadcast.
+    BroadcastOverflow,
+    /// SP006: a barrier phase whose per-task static cost is strongly
+    /// imbalanced; the barrier makes every task wait for the slowest.
+    LoadImbalance,
 }
 
 impl Rule {
@@ -98,6 +121,12 @@ impl Rule {
             Rule::LocksetRace => "SC013",
             Rule::LockOrderCycle => "SC014",
             Rule::PatternContract => "SC015",
+            Rule::FalseSharing => "SP001",
+            Rule::ReadMostlyWrite => "SP002",
+            Rule::ContendedMigratory => "SP003",
+            Rule::SiHostile => "SP004",
+            Rule::BroadcastOverflow => "SP005",
+            Rule::LoadImbalance => "SP006",
         }
     }
 
@@ -119,12 +148,20 @@ impl Rule {
             Rule::LocksetRace => "lockset-race",
             Rule::LockOrderCycle => "lock-order-cycle",
             Rule::PatternContract => "pattern-contract",
+            Rule::FalseSharing => "false-sharing",
+            Rule::ReadMostlyWrite => "read-mostly-write",
+            Rule::ContendedMigratory => "contended-migratory",
+            Rule::SiHostile => "si-hostile",
+            Rule::BroadcastOverflow => "broadcast-overflow",
+            Rule::LoadImbalance => "load-imbalance",
         }
     }
 
     /// Every static rule, in id order (used by the selftest coverage
-    /// check and the docs generator).
-    pub const ALL: [Rule; 15] = [
+    /// check and the docs generator). `SC*` rules are correctness
+    /// (error-severity) rules from the verifier; `SP*` rules are
+    /// performance lints (warning-severity) from the sharing analyzer.
+    pub const ALL: [Rule; 21] = [
         Rule::SharedRace,
         Rule::PrivateIsolation,
         Rule::BarrierMismatch,
@@ -140,7 +177,155 @@ impl Rule {
         Rule::LocksetRace,
         Rule::LockOrderCycle,
         Rule::PatternContract,
+        Rule::FalseSharing,
+        Rule::ReadMostlyWrite,
+        Rule::ContendedMigratory,
+        Rule::SiHostile,
+        Rule::BroadcastOverflow,
+        Rule::LoadImbalance,
     ];
+
+    /// One-paragraph catalogue entry for `check --explain`: what the rule
+    /// detects, why it matters for the paper's argument, and what to do
+    /// about it. The same text backs `docs/static-analysis.md`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::SharedRace => {
+                "Two tasks access the same Space::Shared address without a \
+                 happens-before ordering (via barriers, locks, or events), at \
+                 least one of them writing. The program is racy: simulated \
+                 results depend on the schedule and the paper's A-stream safety \
+                 argument (§3.2) does not apply. Order the accesses with a \
+                 barrier or protect them with a common lock."
+            }
+            Rule::PrivateIsolation => {
+                "A Space::Private address owned by one instance is touched by a \
+                 different task or instance. Private regions are per-instance by \
+                 construction; crossing them means the layout or the program \
+                 generator is wrong."
+            }
+            Rule::BarrierMismatch => {
+                "Tasks disagree on barrier participation — different arrival \
+                 counts or different barrier ids at the same rendezvous. The run \
+                 would deadlock or silently merge generations. Every task must \
+                 arrive at every barrier in the same order."
+            }
+            Rule::LockAcrossBarrier => {
+                "A task arrives at a barrier while holding a lock. Any other \
+                 task that needs the lock before its own arrival deadlocks the \
+                 phase. Release locks before barrier arrival."
+            }
+            Rule::UnlockWithoutLock => {
+                "Unlock of a lock the task does not hold. Lock/Unlock must nest \
+                 per task; this is a generator or program bug."
+            }
+            Rule::LeakedLock => {
+                "A task ends (or wedges the program) with locks still held, \
+                 blocking every other contender forever. Balance each Lock with \
+                 an Unlock on all paths."
+            }
+            Rule::UnbalancedEvents => {
+                "EventWait with no matching EventPost (error: the waiter blocks \
+                 forever), or posts left unconsumed at program end (warning: \
+                 harmless but suspicious). Pair posts and waits one to one."
+            }
+            Rule::LayoutOverlap => {
+                "Two layout regions overlap in the address space. All footprint \
+                 and coherence reasoning assumes disjoint regions; overlapping \
+                 regions make sharing classes and space checks meaningless."
+            }
+            Rule::SpaceMismatch => {
+                "An access's declared Space disagrees with the layout region \
+                 containing its address (e.g. a Space::Private load into a \
+                 shared region). The access would be simulated under the wrong \
+                 coherence rules."
+            }
+            Rule::SyncDeadlock => {
+                "The task set cannot make progress: a lock cycle, self-deadlock, \
+                 or a wedge not attributable to SC003/SC007. The verifier's \
+                 cooperative scheduler ran out of runnable tasks before all \
+                 programs finished."
+            }
+            Rule::UnmappedAddress => {
+                "An access to an address outside every layout region. The \
+                 simulator would fault or silently allocate; the program and \
+                 its layout are out of sync."
+            }
+            Rule::InstanceDivergence => {
+                "A slipstream A-instance program diverges from its R-instance: \
+                 shared addresses or synchronization structure depend on the \
+                 instance id. The A-stream may only elide work (DivergeInA), \
+                 never change the shared skeleton — otherwise its prefetches \
+                 and the kill/refork recovery are unsound."
+            }
+            Rule::LocksetRace => {
+                "Eraser-style lockset violation: within one barrier phase, a \
+                 shared address is accessed by multiple tasks (at least one \
+                 writing, at least one access lock-protected) with no lock \
+                 common to all of the phase's accesses. Unlike SC001 this is \
+                 schedule-independent: no interleaving makes the locking \
+                 discipline consistent."
+            }
+            Rule::LockOrderCycle => {
+                "The acquired-while-holding relation contains a cycle (task A \
+                 takes L1 then L2, task B takes L2 then L1). A potential \
+                 deadlock that SC010's progress check only observes when the \
+                 explored schedule actually wedges. Impose a global lock order."
+            }
+            Rule::PatternContract => {
+                "A generated program does not match its declared PatternSpec \
+                 contract — sharer counts, migration hops, false-sharing line \
+                 co-residency, or sync structure drifted from what the spec \
+                 promises. The generator and its contract checker are out of \
+                 sync."
+            }
+            Rule::FalseSharing => {
+                "Two or more tasks write distinct words of the same cache line. \
+                 No word is actually shared, but the coherence protocol tracks \
+                 ownership per line, so every write invalidates the other \
+                 writers' copies and the line ping-pongs (the paper's \
+                 false-sharing class, Figure 7 context). Pad or realign the data \
+                 so each task's words live on their own lines."
+            }
+            Rule::ReadMostlyWrite => {
+                "A read-mostly region (reads ≥ 4× writes, ≥ 2 reader tasks) is \
+                 written during a phase in which other tasks are reading it. One \
+                 such write invalidates every cached copy and forces a miss \
+                 storm on the next reads. Hoist the write into its own phase or \
+                 replicate the data."
+            }
+            Rule::ContendedMigratory => {
+                "Three or more tasks read-modify-write the same line under a \
+                 common lock. The data is migratory — the exclusive copy hops \
+                 from owner to owner — and with this many contenders the lock \
+                 serializes the whole chain. Consider partitioning the counter \
+                 or batching updates locally."
+            }
+            Rule::SiHostile => {
+                "A task re-reads a line that multiple tasks access, in a later \
+                 barrier phase, with no write to the line in between. \
+                 Self-invalidation (§4) drops shared copies at phase \
+                 boundaries on the bet they are stale; here the copy was still \
+                 valid, so SI converts a cache hit into a needless re-fetch. \
+                 Expect slipstream+si to hurt this access pattern."
+            }
+            Rule::BroadcastOverflow => {
+                "Under a limited-pointer directory, a written line has more \
+                 accessor tasks than the directory has pointers. The sharer set \
+                 overflows and every invalidation becomes a broadcast to all \
+                 nodes. Expect invalidation traffic to scale with machine size, \
+                 not sharer count (see the dir-scheme ablation)."
+            }
+            Rule::LoadImbalance => {
+                "A barrier phase whose per-task static cost (compute cycles \
+                 plus a per-access charge) is strongly imbalanced — the \
+                 heaviest task costs at least twice the lightest, by a \
+                 non-trivial absolute margin. The barrier makes every task wait \
+                 for the slowest; the phase's speedup is capped by the heaviest \
+                 task."
+            }
+        }
+    }
 }
 
 impl fmt::Display for Rule {

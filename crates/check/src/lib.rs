@@ -1,6 +1,7 @@
-//! Correctness tooling for the slipstream reproduction.
+//! Correctness and performance-prediction tooling for the slipstream
+//! reproduction.
 //!
-//! Two independent checkers guard the paper's assumptions:
+//! Three independent passes guard the paper's assumptions:
 //!
 //! 1. **Static DSL verifier** ([`verify_workload`], [`verify_tasks`]) —
 //!    walks each workload's generated task programs once, computing
@@ -20,19 +21,36 @@
 //!    (rules `PC001`..`PC009`). Checked runs are bit-identical to
 //!    unchecked ones.
 //!
-//! The `check` binary fronts both; `docs/static-analysis.md` documents the
-//! rule catalogue.
+//! 3. **Static sharing analyzer** ([`analyze`], [`cross_validate`]) — a
+//!    schedule-independent abstract interpretation that predicts each
+//!    region's sharing class, bounds the coherence traffic a single-mode
+//!    run can generate, and emits performance lints (`SP001`..`SP006`).
+//!    Its predictions are differentially validated against instrumented
+//!    runs over the quick suite and the fuzz corpus.
+//!
+//! The `check` binary fronts the first two and the `predict` binary the
+//! third; `docs/static-analysis.md` documents the rule catalogue.
 
+pub mod analysis;
 pub mod contract;
 pub mod diag;
 pub mod lockorder;
 pub mod lockset;
 pub mod mutations;
+pub mod predict;
 pub mod protocol;
 pub mod verify;
 
+pub use analysis::{
+    analyze, analyze_tasks, Analysis, AnalysisConfig, CostEstimate, ObservedClass, RegionClass,
+    SharingClass, TrafficBounds,
+};
 pub use contract::{verify_contract, ContractItem, PatternContract};
 pub use diag::{has_errors, json_escape, Diagnostic, Rule, Severity};
+pub use predict::{
+    cross_validate, cross_validate_with, BoundCheck, RegionDelta, SharingObserver,
+    ValidationReport,
+};
 pub use protocol::{
     run_checked, CheckCounts, CheckReport, CheckTracer, ProtoRule, ProtocolChecker, Violation,
 };

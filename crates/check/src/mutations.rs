@@ -9,6 +9,7 @@
 use slipstream_kernel::Addr;
 use slipstream_prog::{BarrierId, EventId, InstanceId, Layout, LockId, ProgBuilder, RegionKind};
 
+use crate::analysis::{analyze_tasks, AnalysisConfig};
 use crate::contract::{verify_contract, ContractItem, PatternContract};
 use crate::diag::{Diagnostic, Rule, Severity};
 use crate::verify::{verify_pair, verify_tasks, TaskProgram};
@@ -21,14 +22,20 @@ pub enum CaseKind {
     Pair,
     /// Check `tasks` against a declared pattern contract (SC015).
     Contract(PatternContract),
+    /// Run the sharing analyzer over `tasks` (SP001..SP006) with the given
+    /// configuration.
+    Analysis(AnalysisConfig),
 }
 
 /// One seeded-defect program set.
 pub struct MutationCase {
     /// Case name (stable, used in test output).
     pub name: &'static str,
-    /// The rule that must fire with `Error` severity.
+    /// The rule that must fire with [`MutationCase::expect_severity`].
     pub expect: Rule,
+    /// The severity the rule must fire with: `Error` for the `SC*`
+    /// correctness rules, `Warning` for the `SP*` performance lints.
+    pub expect_severity: Severity,
     /// The layout the programs run against.
     pub layout: Layout,
     /// The task programs.
@@ -56,6 +63,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         t1.lock(LockId(0)).store_shared(x.at_byte(64)).unlock(LockId(0));
         cases.push(MutationCase {
             name: "dropped-unlock",
+            expect_severity: Severity::Error,
             expect: Rule::LeakedLock,
             layout,
             tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
@@ -72,6 +80,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         t1.compute(4);
         cases.push(MutationCase {
             name: "unlock-without-lock",
+            expect_severity: Severity::Error,
             expect: Rule::UnlockWithoutLock,
             layout,
             tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
@@ -88,6 +97,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         t1.barrier(BarrierId(0)).compute(2); // second barrier skipped here
         cases.push(MutationCase {
             name: "skipped-barrier",
+            expect_severity: Severity::Error,
             expect: Rule::BarrierMismatch,
             layout,
             tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
@@ -106,6 +116,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         t1.store_private(p1.at_byte(0)).store_private(p0.at_byte(64)); // cross-task access
         cases.push(MutationCase {
             name: "cross-task-private",
+            expect_severity: Severity::Error,
             expect: Rule::PrivateIsolation,
             layout,
             tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
@@ -122,6 +133,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         t1.wait(EventId(0));
         cases.push(MutationCase {
             name: "removed-post",
+            expect_severity: Severity::Error,
             expect: Rule::UnbalancedEvents,
             layout,
             tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
@@ -139,6 +151,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         t1.compute(2).store_shared(x.at_byte(0));
         cases.push(MutationCase {
             name: "unsynchronized-stores",
+            expect_severity: Severity::Error,
             expect: Rule::SharedRace,
             layout,
             tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
@@ -156,6 +169,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         };
         cases.push(MutationCase {
             name: "lock-across-barrier",
+            expect_severity: Severity::Error,
             expect: Rule::LockAcrossBarrier,
             layout,
             tasks: vec![task(0, 0, mk(0)), task(1, 1, mk(1))],
@@ -173,6 +187,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         };
         cases.push(MutationCase {
             name: "relock-deadlock",
+            expect_severity: Severity::Error,
             expect: Rule::SyncDeadlock,
             layout,
             tasks: vec![task(0, 0, mk()), task(1, 1, mk())],
@@ -191,6 +206,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         t1.compute(1);
         cases.push(MutationCase {
             name: "space-mismatch",
+            expect_severity: Severity::Error,
             expect: Rule::SpaceMismatch,
             layout,
             tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
@@ -208,6 +224,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         t1.compute(1);
         cases.push(MutationCase {
             name: "unmapped-address",
+            expect_severity: Severity::Error,
             expect: Rule::UnmappedAddress,
             layout,
             tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
@@ -226,6 +243,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         };
         cases.push(MutationCase {
             name: "instance-divergence",
+            expect_severity: Severity::Error,
             expect: Rule::InstanceDivergence,
             layout,
             tasks: vec![task(0, 0, mk(0)), task(0, 1, mk(64))],
@@ -246,6 +264,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         t1.compute(1);
         cases.push(MutationCase {
             name: "overlapping-regions",
+            expect_severity: Severity::Error,
             expect: Rule::LayoutOverlap,
             layout,
             tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
@@ -266,6 +285,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         t1.wait(EventId(0)).store_shared(x.at_byte(0)); // lock dropped here
         cases.push(MutationCase {
             name: "inconsistent-lockset",
+            expect_severity: Severity::Error,
             expect: Rule::LocksetRace,
             layout,
             tasks: vec![task(0, 0, t0.build("m")), task(1, 1, t1.build("m"))],
@@ -290,6 +310,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         };
         cases.push(MutationCase {
             name: "lock-order-inversion",
+            expect_severity: Severity::Error,
             expect: Rule::LockOrderCycle,
             layout,
             tasks: vec![task(0, 0, mk(0, 1)), task(1, 1, mk(1, 0))],
@@ -310,6 +331,7 @@ pub fn mutation_cases() -> Vec<MutationCase> {
         };
         cases.push(MutationCase {
             name: "broken-pattern-contract",
+            expect_severity: Severity::Error,
             expect: Rule::PatternContract,
             layout,
             tasks: vec![task(0, 0, mk()), task(1, 1, mk())],
@@ -318,6 +340,161 @@ pub fn mutation_cases() -> Vec<MutationCase> {
                 line_bytes: 64,
                 items: vec![ContractItem::LockAcquires { lock: 0, total: 4 }],
             }),
+        });
+    }
+
+    // SP001: two tasks write distinct words of one line, each word
+    // barrier-separated from the other task's reads — perfectly
+    // synchronized (no SC001), but the line false-shares.
+    {
+        let mut layout = Layout::new();
+        let x = layout.shared("x", 64);
+        let mk = |word: u64| {
+            let mut b = ProgBuilder::new();
+            b.store_shared(x.at_byte(word * 8)).barrier(BarrierId(0));
+            b.build("m")
+        };
+        cases.push(MutationCase {
+            name: "false-shared-line",
+            expect_severity: Severity::Warning,
+            expect: Rule::FalseSharing,
+            layout,
+            tasks: vec![task(0, 0, mk(0)), task(1, 1, mk(1))],
+            kind: CaseKind::Analysis(AnalysisConfig::default()),
+        });
+    }
+
+    // SP002: a read-mostly table is updated by task 0 in the same phase
+    // where tasks 1 and 2 are streaming reads through it.
+    {
+        let mut layout = Layout::new();
+        let tbl = layout.shared("tbl", 4096);
+        let writer = {
+            let mut b = ProgBuilder::new();
+            b.lock(LockId(0)).store_shared(tbl.at_byte(0)).unlock(LockId(0));
+            b.barrier(BarrierId(0));
+            b.build("m")
+        };
+        let reader = |t: usize| {
+            let mut b = ProgBuilder::new();
+            for i in 0..4u64 {
+                b.lock(LockId(0)).load_shared(tbl.at_byte(i * 64)).unlock(LockId(0));
+            }
+            b.barrier(BarrierId(0));
+            task(t, t as u32, b.build("m"))
+        };
+        cases.push(MutationCase {
+            name: "read-mostly-hot-write",
+            expect_severity: Severity::Warning,
+            expect: Rule::ReadMostlyWrite,
+            layout,
+            tasks: vec![task(0, 0, writer), reader(1), reader(2)],
+            kind: CaseKind::Analysis(AnalysisConfig::default()),
+        });
+    }
+
+    // SP003: three tasks read-modify-write one counter line under the
+    // same lock — contended migratory data.
+    {
+        let mut layout = Layout::new();
+        let ctr = layout.shared("ctr", 64);
+        let mk = |t: usize| {
+            let mut b = ProgBuilder::new();
+            b.lock(LockId(0))
+                .load_shared(ctr.at_byte(0))
+                .store_shared(ctr.at_byte(0))
+                .unlock(LockId(0));
+            task(t, t as u32, b.build("m"))
+        };
+        cases.push(MutationCase {
+            name: "contended-migratory-counter",
+            expect_severity: Severity::Warning,
+            expect: Rule::ContendedMigratory,
+            layout,
+            tasks: vec![mk(0), mk(1), mk(2)],
+            kind: CaseKind::Analysis(AnalysisConfig::default()),
+        });
+    }
+
+    // SP004: task 1 re-reads a line two phases after its last read with no
+    // intervening write — self-invalidation would have discarded a
+    // still-valid copy at the barrier.
+    {
+        let mut layout = Layout::new();
+        let x = layout.shared("x", 64);
+        let writer = {
+            let mut b = ProgBuilder::new();
+            b.store_shared(x.at_byte(0));
+            b.barrier(BarrierId(0)).barrier(BarrierId(0)).barrier(BarrierId(0));
+            b.build("m")
+        };
+        let reader = {
+            let mut b = ProgBuilder::new();
+            b.barrier(BarrierId(0));
+            b.load_shared(x.at_byte(0)).barrier(BarrierId(0));
+            b.load_shared(x.at_byte(0)).barrier(BarrierId(0)); // re-read, no write since
+            b.build("m")
+        };
+        cases.push(MutationCase {
+            name: "si-hostile-reread",
+            expect_severity: Severity::Warning,
+            expect: Rule::SiHostile,
+            layout,
+            tasks: vec![task(0, 0, writer), task(1, 1, reader)],
+            kind: CaseKind::Analysis(AnalysisConfig::default()),
+        });
+    }
+
+    // SP005: four tasks touch a written line under a 2-pointer directory;
+    // the sharer set overflows and invalidations broadcast.
+    {
+        let mut layout = Layout::new();
+        let x = layout.shared("x", 64);
+        let writer = {
+            let mut b = ProgBuilder::new();
+            b.store_shared(x.at_byte(0)).barrier(BarrierId(0));
+            b.build("m")
+        };
+        let reader = |t: usize| {
+            let mut b = ProgBuilder::new();
+            b.barrier(BarrierId(0));
+            b.load_shared(x.at_byte(0));
+            task(t, t as u32, b.build("m"))
+        };
+        cases.push(MutationCase {
+            name: "limited-pointer-broadcast",
+            expect_severity: Severity::Warning,
+            expect: Rule::BroadcastOverflow,
+            layout,
+            tasks: vec![task(0, 0, writer), reader(1), reader(2), reader(3)],
+            kind: CaseKind::Analysis(AnalysisConfig {
+                limited_ptrs: Some(2),
+                ..AnalysisConfig::default()
+            }),
+        });
+    }
+
+    // SP006: one task carries 60k cycles of compute in a phase where the
+    // other is idle — the barrier stalls the light task for the duration.
+    {
+        let layout = Layout::new();
+        let heavy = {
+            let mut b = ProgBuilder::new();
+            b.compute(60_000).barrier(BarrierId(0));
+            b.build("m")
+        };
+        let light = {
+            let mut b = ProgBuilder::new();
+            b.compute(10).barrier(BarrierId(0));
+            b.build("m")
+        };
+        cases.push(MutationCase {
+            name: "imbalanced-phase",
+            expect_severity: Severity::Warning,
+            expect: Rule::LoadImbalance,
+            layout,
+            tasks: vec![task(0, 0, heavy), task(1, 1, light)],
+            kind: CaseKind::Analysis(AnalysisConfig::default()),
         });
     }
 
@@ -330,18 +507,19 @@ pub fn run_case(case: &MutationCase) -> Vec<Diagnostic> {
         CaseKind::TaskSet => verify_tasks(&case.layout, &case.tasks),
         CaseKind::Pair => verify_pair(&case.layout, &case.tasks[0], &case.tasks[1]),
         CaseKind::Contract(c) => verify_contract(&case.tasks, c),
+        CaseKind::Analysis(cfg) => analyze_tasks(&case.layout, &case.tasks, cfg).diagnostics,
     }
 }
 
 /// Runs every case; returns a failure message per case whose expected rule
-/// did not fire at `Error` severity (empty = verifier healthy).
+/// did not fire at its expected severity (empty = verifier healthy).
 pub fn selftest() -> Vec<String> {
     let mut failures = Vec::new();
     for case in mutation_cases() {
         let diags = run_case(&case);
         let hit = diags
             .iter()
-            .any(|d| d.rule == case.expect && d.severity == Severity::Error);
+            .any(|d| d.rule == case.expect && d.severity == case.expect_severity);
         if !hit {
             let got: Vec<&str> = diags.iter().map(|d| d.rule.id()).collect();
             failures.push(format!(

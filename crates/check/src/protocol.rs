@@ -97,6 +97,72 @@ impl ProtoRule {
             ProtoRule::CopyShadow => "copy-shadow",
         }
     }
+
+    /// Every dynamic rule, in id order (used by `check --explain` coverage).
+    pub const ALL: [ProtoRule; 9] = [
+        ProtoRule::Swmr,
+        ProtoRule::SharerSet,
+        ProtoRule::SharedWithOwner,
+        ProtoRule::MshrLeak,
+        ProtoRule::FutureBits,
+        ProtoRule::SiTarget,
+        ProtoRule::DirShadow,
+        ProtoRule::MsgTarget,
+        ProtoRule::CopyShadow,
+    ];
+
+    /// One-paragraph catalogue entry for `check --explain`; same text as
+    /// `docs/static-analysis.md`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            ProtoRule::Swmr => {
+                "An exclusive (writable) copy was granted while another node \
+                 still held a coherent copy — a single-writer/multiple-reader \
+                 violation, the core invariant of the invalidation protocol."
+            }
+            ProtoRule::SharerSet => {
+                "At quiescence, the directory's sharing list disagrees with \
+                 the copies actually cached at the nodes. In flight the \
+                 directory's view may lag; once traffic drains, the two must \
+                 agree exactly."
+            }
+            ProtoRule::SharedWithOwner => {
+                "A coherent shared copy coexists with an exclusive copy at \
+                 another node — readers observing a line someone else may be \
+                 writing."
+            }
+            ProtoRule::MshrLeak => {
+                "An MSHR was leaked, double-allocated, or freed without \
+                 allocation. Every miss-status register must be retired \
+                 exactly once per allocation."
+            }
+            ProtoRule::FutureBits => {
+                "Self-invalidation (future-sharer) state exists for a line no \
+                 transparent load ever touched. §4 of the paper derives SI \
+                 state only from the A-stream's transparent loads."
+            }
+            ProtoRule::SiTarget => {
+                "A self-invalidation hint was sent to a node the directory \
+                 does not believe is the exclusive owner; SI hints must target \
+                 only the current owner."
+            }
+            ProtoRule::DirShadow => {
+                "A directory transition's observed pre-state disagrees with \
+                 the checker's shadow — a missed or misordered trace hook \
+                 (checker self-test rule)."
+            }
+            ProtoRule::MsgTarget => {
+                "An invalidation or intervention was sent to a node that \
+                 cannot hold the line per the directory's own state — wasted \
+                 or wrong coherence traffic."
+            }
+            ProtoRule::CopyShadow => {
+                "An L2 evict/invalidate/downgrade arrived for a copy the \
+                 shadow never saw filled — the checker's copy set and the \
+                 simulator's diverged."
+            }
+        }
+    }
 }
 
 impl fmt::Display for ProtoRule {

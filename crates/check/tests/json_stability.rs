@@ -1,0 +1,77 @@
+//! Stability of the crate's machine-readable surfaces: diagnostic JSON
+//! field order, the rule catalogue (every emitted code must have an
+//! `--explain` entry), and a golden validation report.
+//!
+//! Downstream tooling (the fuzz report schema, CI smoke checks) keys on
+//! these exact shapes; changing them is fine but must be deliberate —
+//! re-bless the golden with `BLESS=1 cargo test -p slipstream-check
+//! --test json_stability`.
+
+use slipstream_check::{cross_validate, Diagnostic, ProtoRule, Rule, Severity};
+use slipstream_workloads::by_name;
+
+#[test]
+fn diagnostic_json_field_order_is_stable() {
+    let d = Diagnostic {
+        severity: Severity::Warning,
+        rule: Rule::FalseSharing,
+        task: Some(3),
+        op_index: Some(17),
+        addr: Some(4096),
+        message: "line 64 has 2 writers".to_string(),
+    };
+    assert_eq!(
+        d.to_json(),
+        "{\"severity\":\"warning\",\"rule\":\"SP001\",\"name\":\"false-sharing\",\
+         \"task\":3,\"op_index\":17,\"addr\":4096,\
+         \"message\":\"line 64 has 2 writers\"}"
+    );
+}
+
+#[test]
+fn rule_catalogue_is_complete() {
+    let mut ids: Vec<&str> = Vec::new();
+    for r in Rule::ALL {
+        let id = r.id();
+        assert!(
+            (id.starts_with("SC") || id.starts_with("SP"))
+                && id.len() == 5
+                && id[2..].chars().all(|c| c.is_ascii_digit()),
+            "malformed rule id {id}"
+        );
+        assert!(!r.name().is_empty(), "{id} has no name");
+        assert!(r.explain().len() > 80, "{id} explanation is too thin to help");
+        ids.push(id);
+    }
+    for r in ProtoRule::ALL {
+        let id = r.id();
+        assert!(
+            id.starts_with("PC") && id.len() == 5 && id[2..].chars().all(|c| c.is_ascii_digit()),
+            "malformed rule id {id}"
+        );
+        assert!(!r.name().is_empty(), "{id} has no name");
+        assert!(r.explain().len() > 80, "{id} explanation is too thin to help");
+        ids.push(id);
+    }
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ids.len(), "duplicate rule ids across catalogues");
+}
+
+#[test]
+fn validation_report_json_matches_golden() {
+    let w = by_name("SOR", true).expect("SOR quick workload");
+    let actual = format!("{}\n", cross_validate(w.as_ref(), 2).to_json());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/validation_sor.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &actual).expect("bless golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file (bless with BLESS=1)");
+    assert_eq!(
+        actual, golden,
+        "validation report JSON drifted from the golden; if intended, \
+         re-bless with BLESS=1"
+    );
+}

@@ -1,12 +1,14 @@
 //! Verifier self-validation: every seeded defect in the mutation corpus
-//! must be caught, with the right rule id, at `Error` severity.
+//! must be caught, with the right rule id, at its expected severity
+//! (`Error` for the `SC*` correctness rules, `Warning` for the `SP*`
+//! performance lints).
 //!
 //! This is the regression net for the verifier itself — if a change to the
 //! happens-before machinery silently stops detecting a class of bugs, the
 //! corresponding case fails here (and in `check --selftest`).
 
 use slipstream_check::mutations::{mutation_cases, run_case, selftest};
-use slipstream_check::{Rule, Severity};
+use slipstream_check::Rule;
 
 #[test]
 fn every_seeded_defect_is_detected() {
@@ -14,7 +16,7 @@ fn every_seeded_defect_is_detected() {
         let diags = run_case(&case);
         let hit = diags
             .iter()
-            .any(|d| d.rule == case.expect && d.severity == Severity::Error);
+            .any(|d| d.rule == case.expect && d.severity == case.expect_severity);
         assert!(
             hit,
             "case `{}`: expected {} ({}) to fire, got {:?}",

@@ -9,7 +9,7 @@
 //! every mutation is caught with its expected rule, which is what makes
 //! the clean corpus's "zero diagnostics" result trustworthy.
 
-use slipstream_check::Rule;
+use slipstream_check::{Rule, Severity};
 
 use crate::spec::Pattern;
 
@@ -42,11 +42,17 @@ pub enum Mutation {
     /// Shared access addresses shift by 8 bytes on odd (A-stream)
     /// instances: the A/R skeleton diverges.
     SkewAStream,
+    /// Each task (up to 8) stores its own word of the read-mostly table's
+    /// first line before round 0: every word is still single-writer and
+    /// barrier-ordered against the readers (no race, no `SC*` error), but
+    /// the line now ping-pongs between writers — a *class shift* only the
+    /// sharing analyzer's false-sharing lint (SP001) can see.
+    ShareFalsely,
 }
 
 impl Mutation {
     /// Every mutation, in a stable order.
-    pub const ALL: [Mutation; 10] = [
+    pub const ALL: [Mutation; 11] = [
         Mutation::DropPost,
         Mutation::DropBarrier,
         Mutation::DropUnlock,
@@ -57,6 +63,7 @@ impl Mutation {
         Mutation::CrossPrivate,
         Mutation::UnmappedLoad,
         Mutation::SkewAStream,
+        Mutation::ShareFalsely,
     ];
 
     /// Short stable key used in reports.
@@ -72,6 +79,7 @@ impl Mutation {
             Mutation::CrossPrivate => "cross-private",
             Mutation::UnmappedLoad => "unmapped-load",
             Mutation::SkewAStream => "skew-a-stream",
+            Mutation::ShareFalsely => "share-falsely",
         }
     }
 
@@ -86,10 +94,12 @@ impl Mutation {
             }
             Mutation::SwapLockOrder => Pattern::SyncHeavy,
             Mutation::BreakContract => Pattern::DivergeLaced,
+            Mutation::ShareFalsely => Pattern::ReadMostly,
         }
     }
 
-    /// The static rule that must flag the mutant at `Error` severity.
+    /// The static rule that must flag the mutant (at
+    /// [`Mutation::expected_severity`]).
     pub fn expected_rule(self) -> Rule {
         match self {
             Mutation::DropPost => Rule::UnbalancedEvents,
@@ -102,6 +112,17 @@ impl Mutation {
             Mutation::CrossPrivate => Rule::PrivateIsolation,
             Mutation::UnmappedLoad => Rule::UnmappedAddress,
             Mutation::SkewAStream => Rule::InstanceDivergence,
+            Mutation::ShareFalsely => Rule::FalseSharing,
+        }
+    }
+
+    /// The severity the expected rule fires with: `Error` for the `SC*`
+    /// correctness rules, `Warning` for the analyzer's `SP*` performance
+    /// lints (a class-shifted program is still properly synchronized).
+    pub fn expected_severity(self) -> Severity {
+        match self {
+            Mutation::ShareFalsely => Severity::Warning,
+            _ => Severity::Error,
         }
     }
 

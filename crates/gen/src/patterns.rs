@@ -160,6 +160,22 @@ fn apply_mutation(
         Mutation::UnmappedLoad if task == 0 => {
             ops.push(Op::load_shared(Addr(1 << 44)));
         }
+        Mutation::ShareFalsely if ntasks >= 2 && task < 8 => {
+            // Each task claims its own word of the first shared region's
+            // first line before round 0. Words are disjoint per task (the
+            // cap of 8 writers keeps them inside one 64-byte line), and
+            // round 0's reads don't start until after a barrier, so the
+            // program stays properly synchronized — but the line now has
+            // multiple writers on distinct words: false sharing, visible
+            // only to the analyzer's SP001.
+            if let Some(r) = layout
+                .regions()
+                .iter()
+                .find(|r| !matches!(r.kind, RegionKind::Private(_)))
+            {
+                ops.insert(0, Op::store_shared(Addr(r.base.0 + task as u64 * 8)));
+            }
+        }
         Mutation::SkewAStream if inst.0 % 2 == 1 => {
             for op in ops.iter_mut() {
                 if let Op::Load { addr, space: Space::Shared }

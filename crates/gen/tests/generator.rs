@@ -3,7 +3,10 @@
 //! mutation kill test — every planted bug must be caught by exactly the
 //! rule that targets its defect class.
 
-use slipstream_check::{instantiate_workload, verify_contract, verify_task_set, Severity};
+use slipstream_check::{
+    analyze_tasks, instantiate_workload, verify_contract, verify_task_set, AnalysisConfig,
+    Severity,
+};
 use slipstream_core::{run, ArSyncMode, ExecMode, RunSpec, SlipstreamConfig, Workload as _};
 use slipstream_gen::corpus::{self, CORPUS_SEED};
 use slipstream_gen::{GenWorkload, Mutation, Pattern, PatternSpec};
@@ -106,9 +109,13 @@ fn every_mutation_is_caught_with_its_expected_rule() {
         let set = instantiate_workload(&w, PAGE, 4, m.needs_slipstream());
         let mut diags = verify_task_set(&set);
         diags.extend(verify_contract(&set.r, &w.contract(4)));
+        // The analyzer's SP* lints are part of the kill pipeline too:
+        // class-shifting mutations are invisible to the correctness passes.
+        diags.extend(analyze_tasks(&set.layout, &set.r, &AnalysisConfig::default()).diagnostics);
         let rule = m.expected_rule();
+        let severity = m.expected_severity();
         assert!(
-            diags.iter().any(|d| d.rule == rule && d.severity == Severity::Error),
+            diags.iter().any(|d| d.rule == rule && d.severity == severity),
             "mutant `{}`: expected {} ({}), got {:?}",
             w.name(),
             rule.id(),

@@ -103,6 +103,27 @@ pub struct RequestClass {
 }
 
 impl RequestClass {
+    /// Total classified requests across both kinds (reads + exclusives).
+    /// This is the figure the static analyzer's bounds are checked
+    /// against: every classified request is one shared-line request from
+    /// some node, so it must lie within the analyzer's
+    /// `[distinct (node, shared line) pairs, shared access ops]` window.
+    pub fn total(&self) -> u64 {
+        self.reads.total() + self.excl.total()
+    }
+
+    /// A-stream-issued requests across both kinds. Zero in conventional
+    /// (single/double) modes, where no A-stream exists — a sharp
+    /// cross-check for the validation harness.
+    pub fn a_total(&self) -> u64 {
+        self.reads.a_timely
+            + self.reads.a_late
+            + self.reads.a_only
+            + self.excl.a_timely
+            + self.excl.a_late
+            + self.excl.a_only
+    }
+
     /// Record the `Late` outcome for an open request (at merge time).
     pub fn count_late(&mut self, is_read: bool, issuer: StreamRole) {
         let c = if is_read { &mut self.reads } else { &mut self.excl };

@@ -173,6 +173,21 @@ impl MemStats {
         self.l1_hits + self.l2_hits + self.l2_misses
     }
 
+    /// Total classified shared-line requests (reads + exclusives, both
+    /// streams) — the dynamic figure the static analyzer's request-count
+    /// bounds are validated against.
+    pub fn classified_total(&self) -> u64 {
+        self.class.total()
+    }
+
+    /// Total self-invalidation actions taken (copies invalidated plus
+    /// copies downgraded at session boundaries, §4). Zero whenever
+    /// self-invalidation is off — in particular in every conventional
+    /// (single/double) run, which the validation harness asserts.
+    pub fn si_events(&self) -> u64 {
+        self.si_invalidations + self.si_downgrades
+    }
+
     /// Fraction of A-stream read transactions issued transparently
     /// (Figure 9's y-axis), in percent.
     pub fn transparent_pct(&self) -> f64 {

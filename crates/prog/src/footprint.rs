@@ -1,0 +1,158 @@
+//! Read-only footprint accessors over a [`Program`]'s op stream.
+//!
+//! The static sharing analyzer (`slipstream-check`) and the `predict`
+//! binary both need per-program summaries — how many accesses, how much
+//! compute, where the barrier-phase boundaries fall — without mutating or
+//! re-deriving the statement tree. These helpers walk [`Program::iter`]
+//! once and are purely observational: they never touch the layout or the
+//! simulator.
+
+use crate::ops::{Op, Space};
+use crate::stmt::Program;
+
+/// Per-program operation counts, split the way the analyzer bills them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// `Load` ops with `Space::Shared`.
+    pub shared_loads: u64,
+    /// `Store` ops with `Space::Shared`.
+    pub shared_stores: u64,
+    /// `Load` ops with `Space::Private`.
+    pub private_loads: u64,
+    /// `Store` ops with `Space::Private`.
+    pub private_stores: u64,
+    /// Total cycles across `Compute` ops.
+    pub compute_cycles: u64,
+    /// `Barrier` ops (equals the number of phase boundaries the task sees).
+    pub barriers: u64,
+    /// `Lock` ops.
+    pub locks: u64,
+    /// `Unlock` ops.
+    pub unlocks: u64,
+    /// `EventPost` ops.
+    pub event_posts: u64,
+    /// `EventWait` ops.
+    pub event_waits: u64,
+    /// `Input` ops.
+    pub inputs: u64,
+    /// `DivergeInA` ops (A-stream-only detours; no-ops elsewhere).
+    pub diverges: u64,
+}
+
+impl OpCounts {
+    /// All memory accesses, shared and private.
+    pub fn accesses(&self) -> u64 {
+        self.shared_loads + self.shared_stores + self.private_loads + self.private_stores
+    }
+
+    /// Shared-space accesses only (the ones subject to coherence).
+    pub fn shared_accesses(&self) -> u64 {
+        self.shared_loads + self.shared_stores
+    }
+
+    /// All loads.
+    pub fn loads(&self) -> u64 {
+        self.shared_loads + self.private_loads
+    }
+
+    /// All stores.
+    pub fn stores(&self) -> u64 {
+        self.shared_stores + self.private_stores
+    }
+}
+
+impl Program {
+    /// Tallies the program's dynamic op stream (one full walk).
+    pub fn op_counts(&self) -> OpCounts {
+        let mut c = OpCounts::default();
+        for op in self.iter() {
+            match op {
+                Op::Load { space: Space::Shared, .. } => c.shared_loads += 1,
+                Op::Load { space: Space::Private, .. } => c.private_loads += 1,
+                Op::Store { space: Space::Shared, .. } => c.shared_stores += 1,
+                Op::Store { space: Space::Private, .. } => c.private_stores += 1,
+                Op::Compute(n) => c.compute_cycles += u64::from(n),
+                Op::Barrier(_) => c.barriers += 1,
+                Op::Lock(_) => c.locks += 1,
+                Op::Unlock(_) => c.unlocks += 1,
+                Op::EventPost(_) => c.event_posts += 1,
+                Op::EventWait(_) => c.event_waits += 1,
+                Op::Input => c.inputs += 1,
+                Op::DivergeInA(_) => c.diverges += 1,
+            }
+        }
+        c
+    }
+
+    /// Walks the op stream with a barrier-phase counter.
+    ///
+    /// The callback receives `(phase, op_index, op)`: `phase` starts at 0
+    /// and increments *after* each `Barrier` op (the barrier itself is
+    /// billed to the phase it closes), and `op_index` is the zero-based
+    /// dynamic index — the same indexing the verifier's diagnostics use.
+    /// Because every task participates in every barrier (the sync
+    /// controller's global-barrier semantics), phase `p` of one task is
+    /// concurrent only with phase `p` of the others, which is what lets
+    /// the analyzer treat the phase id as a cross-task alignment key.
+    pub fn walk_phases<F: FnMut(usize, u64, &Op)>(&self, mut f: F) {
+        let mut phase = 0usize;
+        for (i, op) in self.iter().enumerate() {
+            f(phase, i as u64, &op);
+            if matches!(op, Op::Barrier(_)) {
+                phase += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgBuilder;
+    use crate::layout::Layout;
+    use crate::ops::BarrierId;
+
+    fn sample() -> (Layout, Program) {
+        let mut layout = Layout::new();
+        let arr = layout.shared("arr", 4096);
+        let mut b = ProgBuilder::new();
+        b.for_n(3, |b| {
+            b.gen(move |ctx| Op::load_shared(arr.at(ctx.i(0) * 64)));
+            b.compute(10);
+        });
+        b.barrier(BarrierId(0));
+        b.gen(move |_| Op::store_shared(arr.at(0)));
+        b.barrier(BarrierId(0));
+        (layout, b.build("sample"))
+    }
+
+    #[test]
+    fn op_counts_tally_the_stream() {
+        let (_l, p) = sample();
+        let c = p.op_counts();
+        assert_eq!(c.shared_loads, 3);
+        assert_eq!(c.shared_stores, 1);
+        assert_eq!(c.compute_cycles, 30);
+        assert_eq!(c.barriers, 2);
+        assert_eq!(c.accesses(), 4);
+        assert_eq!(c.shared_accesses(), 4);
+        assert_eq!(c.accesses(), p.iter().filter(|o| o.is_access()).count() as u64);
+    }
+
+    #[test]
+    fn walk_phases_splits_at_barriers() {
+        let (_l, p) = sample();
+        let mut per_phase = vec![0u64; 2];
+        let mut max_phase = 0;
+        p.walk_phases(|phase, _idx, op| {
+            max_phase = max_phase.max(phase);
+            if op.is_access() {
+                per_phase[phase] += 1;
+            }
+        });
+        // The closing barrier bumps the counter after the last op, but no
+        // op is ever observed in the empty trailing phase.
+        assert_eq!(max_phase, 1);
+        assert_eq!(per_phase, vec![3, 1]);
+    }
+}

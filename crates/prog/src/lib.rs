@@ -34,12 +34,14 @@
 //! ```
 
 mod builder;
+mod footprint;
 mod iter;
 mod layout;
 mod ops;
 mod stmt;
 
 pub use builder::ProgBuilder;
+pub use footprint::OpCounts;
 pub use iter::ProgramIter;
 pub use layout::{ArrayRef, InstanceId, Layout, RegionInfo, RegionKind};
 pub use ops::{BarrierId, EventId, LockId, Op, Space};

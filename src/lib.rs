@@ -16,9 +16,12 @@
 //!   synchronization, A-stream reduction and recovery, and the machine
 //!   runner;
 //! * [`workloads`] — the paper's nine benchmarks (Table 2);
-//! * [`check`] — correctness tooling: the static happens-before,
-//!   lockset, lock-order, and pattern-contract verifier for generated
-//!   programs and the dynamic coherence-protocol invariant checker (see
+//! * [`check`] — correctness and performance tooling: the static
+//!   happens-before, lockset, lock-order, and pattern-contract verifier
+//!   for generated programs; the static sharing analyzer
+//!   ([`check::analyze`], [`check::cross_validate`]) with its
+//!   communication bounds and `SP*` lints; and the dynamic
+//!   coherence-protocol invariant checker (see
 //!   `docs/static-analysis.md`);
 //! * [`gen`] — the seeded sharing-pattern program generator and mutation
 //!   engine behind the `fuzz` differential-testing binary.
